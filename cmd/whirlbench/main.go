@@ -1,0 +1,47 @@
+// Command whirlbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	whirlbench -fig fig21              # the overall comparison
+//	whirlbench -fig fig22 -mixes 8     # mixes, fewer samples
+//	whirlbench -fig all -scale 0.25    # everything, faster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"whirlpool"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure/table id, or 'all' (see -listfigs)")
+	scale := flag.Float64("scale", 1.0, "workload length multiplier")
+	mixes := flag.Int("mixes", 20, "number of mixes for fig22")
+	apps := flag.String("apps", "", "comma-separated app subset for suite figures")
+	listFigs := flag.Bool("listfigs", false, "list figure ids and exit")
+	flag.Parse()
+
+	if *listFigs || *fig == "" {
+		fmt.Println("figures:", strings.Join(whirlpool.Figures(), " "))
+		return
+	}
+	opt := &whirlpool.FigureOptions{Scale: *scale, Mixes: *mixes}
+	if *apps != "" {
+		opt.Apps = strings.Split(*apps, ",")
+	}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = whirlpool.Figures()
+	}
+	for _, id := range ids {
+		out, err := whirlpool.Figure(id, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whirlbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

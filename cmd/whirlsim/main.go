@@ -1,0 +1,64 @@
+// Command whirlsim runs one benchmark under one (or every) LLC scheme on
+// the simulated 4-core NUCA chip and prints the resulting performance and
+// data-movement energy report.
+//
+// Usage:
+//
+//	whirlsim -app delaunay                 # all six schemes
+//	whirlsim -app MIS -scheme whirlpool    # one scheme
+//	whirlsim -list                         # show available apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"whirlpool"
+)
+
+func main() {
+	app := flag.String("app", "delaunay", "benchmark to run (see -list)")
+	scheme := flag.String("scheme", "", "scheme to run (default: all six)")
+	scale := flag.Float64("scale", 1.0, "workload length multiplier")
+	pools := flag.Int("auto", 0, "classify with WhirlTool into N pools (whirlpool scheme)")
+	list := flag.Bool("list", false, "list available apps and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println("single-threaded apps:")
+		for _, a := range whirlpool.Apps() {
+			fmt.Println("  ", a)
+		}
+		fmt.Println("parallel apps (use whirlbench -fig fig13):")
+		for _, a := range whirlpool.ParallelApps() {
+			fmt.Println("  ", a)
+		}
+		return
+	}
+
+	opt := &whirlpool.Options{Scale: *scale, AutoClassify: *pools}
+	var schemes []whirlpool.Scheme
+	if *scheme != "" {
+		schemes = []whirlpool.Scheme{whirlpool.Scheme(*scheme)}
+	} else {
+		schemes = whirlpool.Schemes()
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tcycles(M)\tIPC\tAPKI\tMPKI\thit%\tbyp%\tDME(mJ)\tnet\tbank\tmem")
+	for _, s := range schemes {
+		r, err := whirlpool.Run(*app, s, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whirlsim:", err)
+			os.Exit(1)
+		}
+		d := float64(r.LLCAccesses)
+		fmt.Fprintf(w, "%s\t%.2f\t%.3f\t%.1f\t%.2f\t%.1f\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			s, r.Cycles/1e6, r.IPC, r.APKI, r.MPKI,
+			100*float64(r.Hits)/d, 100*float64(r.Bypasses)/d,
+			r.EnergyPJ/1e9, r.NetworkEnergyPJ/1e9, r.BankEnergyPJ/1e9, r.MemoryEnergyPJ/1e9)
+	}
+	w.Flush()
+}

@@ -1,0 +1,38 @@
+// Command whirltool runs WhirlTool's profile-guided classification on a
+// benchmark: it prints the clustering dendrogram (Fig 17) and the
+// resulting pool assignment for the requested pool count.
+//
+// Usage:
+//
+//	whirltool -app omnet -pools 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"whirlpool"
+)
+
+func main() {
+	app := flag.String("app", "delaunay", "benchmark to classify")
+	pools := flag.Int("pools", 3, "number of pools to produce")
+	scale := flag.Float64("scale", 1.0, "profiling run length multiplier")
+	flag.Parse()
+
+	groups, err := whirlpool.AutoClassify(*app, *pools, &whirlpool.Options{Scale: *scale})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whirltool:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("WhirlTool classification of %s into %d pools:\n", *app, *pools)
+	for i, g := range groups {
+		fmt.Printf("  pool %d: %v\n", i+1, g)
+	}
+	dendro, err := whirlpool.Figure("fig17", &whirlpool.FigureOptions{Scale: *scale})
+	if err == nil && (*app == "delaunay" || *app == "omnet") {
+		fmt.Println()
+		fmt.Println(dendro)
+	}
+}

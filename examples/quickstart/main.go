@@ -1,0 +1,42 @@
+// Quickstart: run the paper's flagship example — Delaunay triangulation
+// (dt) with its three manually classified pools — under S-NUCA, Jigsaw,
+// and Whirlpool, and print the headline comparison from Sec 2.1.
+package main
+
+import (
+	"fmt"
+
+	"whirlpool"
+)
+
+func main() {
+	opt := &whirlpool.Options{Scale: 0.5}
+
+	fmt.Println("dt (Delaunay triangulation) on the 4-core, 25-bank NUCA chip")
+	fmt.Println()
+
+	snuca, err := whirlpool.Run("delaunay", whirlpool.SNUCALRU, opt)
+	check(err)
+	jigsaw, err := whirlpool.Run("delaunay", whirlpool.Jigsaw, opt)
+	check(err)
+	whirl, err := whirlpool.Run("delaunay", whirlpool.Whirlpool, opt)
+	check(err)
+
+	for _, r := range []whirlpool.Report{snuca, jigsaw, whirl} {
+		fmt.Printf("%-12s  cycles=%.1fM  IPC=%.3f  energy=%.2fmJ (net %.2f, bank %.2f, mem %.2f)\n",
+			r.Scheme, r.Cycles/1e6, r.IPC, r.EnergyPJ/1e9,
+			r.NetworkEnergyPJ/1e9, r.BankEnergyPJ/1e9, r.MemoryEnergyPJ/1e9)
+	}
+	fmt.Println()
+	fmt.Printf("Whirlpool vs S-NUCA: %+.1f%% performance, %+.1f%% data-movement energy\n",
+		100*(snuca.Cycles/whirl.Cycles-1), 100*(whirl.EnergyPJ/snuca.EnergyPJ-1))
+	fmt.Printf("Whirlpool vs Jigsaw: %+.1f%% performance, %+.1f%% data-movement energy\n",
+		100*(jigsaw.Cycles/whirl.Cycles-1), 100*(whirl.EnergyPJ/jigsaw.EnergyPJ-1))
+	fmt.Println("\npaper (Sec 2.1): +19% / -42% vs S-NUCA, +15% / -27% vs Jigsaw")
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

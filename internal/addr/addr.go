@@ -1,0 +1,64 @@
+// Package addr defines the geometry of the simulated physical address
+// space: 64-byte cache lines and 4KB pages, with helpers to convert between
+// byte addresses, line addresses, and page numbers.
+//
+// The simulator works on *line addresses* (byte address >> 6) everywhere
+// past the allocator, so hot paths never re-shift.
+package addr
+
+const (
+	// LineBytes is the cache line size used throughout (Table 3: 64B lines).
+	LineBytes = 64
+	// LineShift is log2(LineBytes).
+	LineShift = 6
+	// PageBytes is the virtual memory page size (4KB).
+	PageBytes = 4096
+	// PageShift is log2(PageBytes).
+	PageShift = 12
+	// LinesPerPage is the number of cache lines in one page.
+	LinesPerPage = PageBytes / LineBytes
+)
+
+// Addr is a simulated 64-bit virtual byte address.
+type Addr uint64
+
+// Line is a cache-line address (byte address >> LineShift).
+type Line uint64
+
+// Page is a virtual page number (byte address >> PageShift).
+type Page uint64
+
+// LineOf returns the line containing byte address a.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// PageOf returns the page containing byte address a.
+func PageOf(a Addr) Page { return Page(a >> PageShift) }
+
+// PageOfLine returns the page containing line l.
+func PageOfLine(l Line) Page { return Page(l >> (PageShift - LineShift)) }
+
+// FirstLine returns the first line of page p.
+func FirstLine(p Page) Line { return Line(p << (PageShift - LineShift)) }
+
+// Base returns the first byte address of page p.
+func Base(p Page) Addr { return Addr(p << PageShift) }
+
+// LineAddr returns the first byte address of line l.
+func LineAddr(l Line) Addr { return Addr(l << LineShift) }
+
+// PagesFor returns how many pages are needed to hold n bytes.
+func PagesFor(n uint64) uint64 {
+	return (n + PageBytes - 1) / PageBytes
+}
+
+// LinesFor returns how many lines are needed to hold n bytes.
+func LinesFor(n uint64) uint64 {
+	return (n + LineBytes - 1) / LineBytes
+}
+
+const (
+	// KB is two to the tenth bytes.
+	KB = 1024
+	// MB is two to the twentieth bytes.
+	MB = 1024 * 1024
+)

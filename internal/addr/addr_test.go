@@ -1,0 +1,85 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGeometryConstants(t *testing.T) {
+	if 1<<LineShift != LineBytes {
+		t.Fatal("LineShift inconsistent")
+	}
+	if 1<<PageShift != PageBytes {
+		t.Fatal("PageShift inconsistent")
+	}
+	if LinesPerPage != 64 {
+		t.Fatalf("LinesPerPage = %d, want 64", LinesPerPage)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	a := Addr(0x12345)
+	if LineOf(a) != Line(0x12345>>6) {
+		t.Fatal("LineOf wrong")
+	}
+	if PageOf(a) != Page(0x12345>>12) {
+		t.Fatal("PageOf wrong")
+	}
+	l := LineOf(a)
+	if PageOfLine(l) != PageOf(a) {
+		t.Fatal("PageOfLine inconsistent with PageOf")
+	}
+}
+
+func TestFirstLineRoundTrip(t *testing.T) {
+	p := Page(77)
+	l := FirstLine(p)
+	if PageOfLine(l) != p {
+		t.Fatal("FirstLine not in page")
+	}
+	if uint64(LineAddr(l)) != uint64(Base(p)) {
+		t.Fatal("LineAddr(FirstLine) != Base")
+	}
+}
+
+func TestPagesFor(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 0}, {1, 1}, {4096, 1}, {4097, 2}, {8192, 2},
+	}
+	for _, c := range cases {
+		if got := PagesFor(c.n); got != c.want {
+			t.Errorf("PagesFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestLinesFor(t *testing.T) {
+	cases := []struct{ n, want uint64 }{
+		{0, 0}, {1, 1}, {64, 1}, {65, 2}, {128, 2},
+	}
+	for _, c := range cases {
+		if got := LinesFor(c.n); got != c.want {
+			t.Errorf("LinesFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestQuickLinePageConsistency(t *testing.T) {
+	f := func(raw uint64) bool {
+		a := Addr(raw)
+		return PageOfLine(LineOf(a)) == PageOf(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLineAddrInverse(t *testing.T) {
+	f := func(raw uint64) bool {
+		l := Line(raw >> LineShift)
+		return LineOf(LineAddr(l)) == l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+package cache
+
+import "whirlpool/internal/addr"
+
+// CapLRU is a fully-associative LRU store with an adjustable capacity in
+// lines. It models one virtual cache partition: Jigsaw's Vantage
+// partitioning keeps each partition at exactly its allocated size, so the
+// partition's hit/miss behaviour is that of an LRU cache of that capacity.
+//
+// Nodes live in a slice with an intrusive doubly-linked list and a free
+// list, so steady-state operation does not allocate.
+type CapLRU struct {
+	capacity int
+	m        map[addr.Line]int32
+	nodes    []capNode
+	free     []int32
+	head     int32 // MRU; -1 when empty
+	tail     int32 // LRU; -1 when empty
+
+	Hits   uint64
+	Misses uint64
+}
+
+type capNode struct {
+	line       addr.Line
+	prev, next int32
+	dirty      bool
+}
+
+// NewCapLRU creates a store with the given capacity in lines (may be 0).
+func NewCapLRU(capacity int) *CapLRU {
+	return &CapLRU{
+		capacity: capacity,
+		m:        make(map[addr.Line]int32),
+		head:     -1,
+		tail:     -1,
+	}
+}
+
+// Capacity returns the current capacity in lines.
+func (c *CapLRU) Capacity() int { return c.capacity }
+
+// Size returns the number of resident lines.
+func (c *CapLRU) Size() int { return len(c.m) }
+
+func (c *CapLRU) unlink(i int32) {
+	n := &c.nodes[i]
+	if n.prev >= 0 {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next >= 0 {
+		c.nodes[n.next].prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+}
+
+func (c *CapLRU) pushFront(i int32) {
+	n := &c.nodes[i]
+	n.prev = -1
+	n.next = c.head
+	if c.head >= 0 {
+		c.nodes[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
+}
+
+func (c *CapLRU) alloc(l addr.Line, dirty bool) int32 {
+	var i int32
+	if n := len(c.free); n > 0 {
+		i = c.free[n-1]
+		c.free = c.free[:n-1]
+		c.nodes[i] = capNode{line: l, dirty: dirty}
+	} else {
+		i = int32(len(c.nodes))
+		c.nodes = append(c.nodes, capNode{line: l, dirty: dirty})
+	}
+	return i
+}
+
+// evictLRU removes the least-recently-used line and returns it.
+func (c *CapLRU) evictLRU() Eviction {
+	i := c.tail
+	n := c.nodes[i]
+	c.unlink(i)
+	delete(c.m, n.line)
+	c.free = append(c.free, i)
+	return Eviction{Line: n.line, Dirty: n.dirty}
+}
+
+// Access looks up l, promoting it on a hit and inserting it on a miss.
+// If capacity is zero the access always misses and nothing is inserted.
+// At most one eviction results.
+func (c *CapLRU) Access(l addr.Line, write bool) (hit bool, ev Eviction, evicted bool) {
+	if i, ok := c.m[l]; ok {
+		c.Hits++
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
+		if write {
+			c.nodes[i].dirty = true
+		}
+		return true, Eviction{}, false
+	}
+	c.Misses++
+	if c.capacity == 0 {
+		return false, Eviction{}, false
+	}
+	if len(c.m) >= c.capacity {
+		ev = c.evictLRU()
+		evicted = true
+	}
+	i := c.alloc(l, write)
+	c.m[l] = i
+	c.pushFront(i)
+	return false, ev, evicted
+}
+
+// Writeback marks l dirty if resident, reporting presence. It neither
+// inserts nor promotes; absent lines must be written to memory.
+func (c *CapLRU) Writeback(l addr.Line) bool {
+	i, ok := c.m[l]
+	if ok {
+		c.nodes[i].dirty = true
+	}
+	return ok
+}
+
+// Contains reports whether l is resident, without updating LRU state.
+func (c *CapLRU) Contains(l addr.Line) bool {
+	_, ok := c.m[l]
+	return ok
+}
+
+// Resize changes the capacity, evicting LRU lines as needed. The evicted
+// lines are returned so callers can account for writebacks/invalidations.
+func (c *CapLRU) Resize(capacity int) []Eviction {
+	c.capacity = capacity
+	var evs []Eviction
+	for len(c.m) > capacity {
+		evs = append(evs, c.evictLRU())
+	}
+	return evs
+}
+
+// InvalidateAll empties the store, returning the number of lines dropped
+// and how many of them were dirty.
+func (c *CapLRU) InvalidateAll() (lines, dirty int) {
+	lines = len(c.m)
+	for i := c.head; i >= 0; i = c.nodes[i].next {
+		if c.nodes[i].dirty {
+			dirty++
+		}
+	}
+	c.m = make(map[addr.Line]int32)
+	c.nodes = c.nodes[:0]
+	c.free = c.free[:0]
+	c.head, c.tail = -1, -1
+	return lines, dirty
+}
+
+// ForEach calls fn for every resident line, MRU to LRU order.
+func (c *CapLRU) ForEach(fn func(l addr.Line)) {
+	for i := c.head; i >= 0; i = c.nodes[i].next {
+		fn(c.nodes[i].line)
+	}
+}

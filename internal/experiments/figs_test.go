@@ -1,0 +1,286 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"whirlpool/internal/schemes"
+)
+
+// Figure-runner smoke tests at small scale: each must produce a table
+// with the expected structure and the paper's qualitative content.
+
+// Scale 0.25 keeps each trace's unique footprint above the LLC size so
+// warm-up cannot artificially fit streaming data (see DESIGN.md).
+var figH = NewHarness(0.25)
+
+func TestFig02Structure(t *testing.T) {
+	tab := figH.Fig02()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("dt has 3 pools, table has %d rows", len(tab.Rows))
+	}
+	if tab.Rows[0][0] != "points" || tab.Rows[2][0] != "triangles" {
+		t.Fatalf("unexpected pools: %v", tab.Rows)
+	}
+}
+
+func TestFig05RendersThreeMaps(t *testing.T) {
+	out := figH.Fig05()
+	for _, want := range []string{"S-NUCA", "Jigsaw", "Whirlpool"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("placement output missing %s:\n%s", want, out)
+		}
+	}
+	// The Whirlpool map must mention the dt pool names in its legend.
+	if !strings.Contains(out, "points") {
+		t.Fatal("Whirlpool legend missing pool names")
+	}
+}
+
+func TestFig06ShowsAlternation(t *testing.T) {
+	tab := figH.Fig06()
+	if len(tab.Rows) < 6 {
+		t.Fatalf("too few windows: %d", len(tab.Rows))
+	}
+	// Both grids must dominate at some point.
+	doms := map[string]bool{}
+	for _, r := range tab.Rows {
+		doms[r[3]] = true
+	}
+	if !doms["grid1"] || !doms["grid2"] {
+		t.Fatalf("no alternation: %v", doms)
+	}
+}
+
+func TestFig08CurvesDrop(t *testing.T) {
+	tab := figH.Fig08()
+	// The first row is size 0 (everything misses), the last is 12MB
+	// (everything fits): each pool's MPKI must fall drastically.
+	first, last := tab.Rows[0], tab.Rows[len(tab.Rows)-1]
+	for c := 1; c < len(tab.Cols); c++ {
+		if first[c] == last[c] {
+			t.Fatalf("pool %s curve did not drop: %v -> %v", tab.Cols[c], first[c], last[c])
+		}
+	}
+}
+
+func TestFig09EdgesFlat(t *testing.T) {
+	tab := figH.Fig09()
+	// Find the edges column; its MPKI at max size must stay substantial
+	// (streaming), unlike vertices.
+	edgeCol := -1
+	for c, name := range tab.Cols {
+		if strings.HasPrefix(name, "edges") {
+			edgeCol = c
+		}
+	}
+	if edgeCol < 0 {
+		t.Fatalf("no edges column: %v", tab.Cols)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if last[edgeCol] == "0.00" {
+		t.Fatal("edges curve dropped to zero; should stream")
+	}
+}
+
+func TestFig10SixRows(t *testing.T) {
+	tab := figH.Fig10()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("six schemes expected, got %d", len(tab.Rows))
+	}
+	// Whirlpool is the normalization baseline: its exec time is 1.000.
+	for _, r := range tab.Rows {
+		if r[0] == "Whirlpool" && r[1] != "1.000" {
+			t.Fatalf("whirlpool not normalized: %v", r)
+		}
+	}
+}
+
+func TestFig11ProducesTimeline(t *testing.T) {
+	tab := figH.Fig11()
+	if len(tab.Rows) < 3 {
+		t.Fatalf("timeline too short: %d rows", len(tab.Rows))
+	}
+	if len(tab.Cols) != 4 {
+		t.Fatalf("cols = %v", tab.Cols)
+	}
+}
+
+func TestFig16SubsetRuns(t *testing.T) {
+	tab := figH.Fig16([]string{"MIS", "hull"})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Manual columns filled for both (both are Table 2 apps).
+	for _, r := range tab.Rows {
+		if r[4] == "-" {
+			t.Fatalf("manual column missing for %s", r[0])
+		}
+	}
+}
+
+func TestFig17MentionsBothApps(t *testing.T) {
+	out := figH.Fig17()
+	if !strings.Contains(out, "delaunay") || !strings.Contains(out, "omnet") {
+		t.Fatalf("dendrograms missing apps:\n%s", out)
+	}
+	if !strings.Contains(out, "merge") {
+		t.Fatal("no merges rendered")
+	}
+}
+
+func TestFig21SubsetStructure(t *testing.T) {
+	tab, all := figH.Fig21([]string{"delaunay", "MIS", "mcf"})
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for k, rs := range all {
+		if len(rs) != 3 {
+			t.Fatalf("%v: %d results", k, len(rs))
+		}
+	}
+	// Whirlpool's gmean slowdown over itself is +0.0%.
+	for _, r := range tab.Rows {
+		if r[0] == "Whirlpool" && r[1] != "+0.0%" {
+			t.Fatalf("whirlpool row: %v", r)
+		}
+	}
+}
+
+func TestFig22SmallMixes(t *testing.T) {
+	mixes := RandomMixes(3, 4, 1)
+	h := NewHarness(0.04)
+	tab, rows := h.Fig22(mixes, false)
+	if len(tab.Rows) != 3 {
+		t.Fatalf("variants = %d", len(tab.Rows))
+	}
+	for _, r := range rows {
+		if len(r.Speedups) != 3 {
+			t.Fatalf("%s: %d speedups", r.Label, len(r.Speedups))
+		}
+		if r.Gmean < 0.8 || r.Gmean > 1.5 {
+			t.Fatalf("%s: implausible gmean %v", r.Label, r.Gmean)
+		}
+	}
+}
+
+func TestRandomMixesShape(t *testing.T) {
+	mixes := RandomMixes(5, 4, 2)
+	if len(mixes) != 5 {
+		t.Fatalf("mixes = %d", len(mixes))
+	}
+	for _, m := range mixes {
+		if len(m.Apps) != 4 {
+			t.Fatalf("mix size = %d", len(m.Apps))
+		}
+	}
+	// Deterministic.
+	again := RandomMixes(5, 4, 2)
+	for i := range mixes {
+		for j := range mixes[i].Apps {
+			if mixes[i].Apps[j] != again[i].Apps[j] {
+				t.Fatal("mixes not deterministic")
+			}
+		}
+	}
+}
+
+func TestFig23SelfSimilarity(t *testing.T) {
+	tab := Fig23()
+	if len(tab.Rows) != 13 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable2AllManualApps(t *testing.T) {
+	tab := figH.Table2()
+	if len(tab.Rows) != 12 {
+		t.Fatalf("Table 2 rows = %d, want 12 manually ported apps", len(tab.Rows))
+	}
+}
+
+func TestTable3Static(t *testing.T) {
+	tab := Table3()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationLatencyCurvesRuns(t *testing.T) {
+	tab := figH.AblationLatencyCurves("delaunay")
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationBypassRuns(t *testing.T) {
+	tab := figH.AblationBypass([]string{"MIS"})
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestSchemeBreakdownConsistency(t *testing.T) {
+	tab := figH.SchemeBreakdown("cactus", "test")
+	// hit% + miss% + byp% ≈ 100 for every scheme.
+	for _, r := range tab.Rows {
+		var sum float64
+		for _, c := range []int{7, 8, 9} {
+			v, err := strconv.ParseFloat(r[c], 64)
+			if err != nil {
+				t.Fatalf("bad cell %q", r[c])
+			}
+			sum += v
+		}
+		if sum < 99.5 || sum > 100.5 {
+			t.Fatalf("%s: outcome percentages sum to %v", r[0], sum)
+		}
+	}
+}
+
+// Fig13 on one app (graph apps are slower; mergesort is the quick one).
+func TestFig13OneApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel sim is slow")
+	}
+	tab := figH.Fig13([]string{"mergesort"})
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if tab.Rows[0][1] != "SNUCA" {
+		t.Fatalf("first variant = %v", tab.Rows[0])
+	}
+}
+
+func TestParallelVariantOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel sim is slow")
+	}
+	base := figH.RunParallel("pagerank", VariantSNUCA)
+	wp := figH.RunParallel("pagerank", VariantWhirlpoolPaWS)
+	if wp.Cycles >= base.Cycles {
+		t.Errorf("W+PaWS (%d) should beat S-NUCA (%d) on pagerank", wp.Cycles, base.Cycles)
+	}
+	// Energy: the paper reports large W+PaWS savings; our model's
+	// per-partition VC reconfiguration churn keeps energy near S-NUCA
+	// instead (documented deviation, EXPERIMENTS.md). Bound the damage.
+	if wp.Energy.Total() >= 2*base.Energy.Total() {
+		t.Errorf("W+PaWS energy (%.2e) should stay within 2x of S-NUCA (%.2e)",
+			wp.Energy.Total(), base.Energy.Total())
+	}
+}
+
+func TestManualVsJigsawGainsOnPortedApps(t *testing.T) {
+	// Sec 3.1: over the manually ported apps, Whirlpool improves on
+	// Jigsaw on average.
+	apps := []string{"MIS", "delaunay", "mcf", "cactus"}
+	var jigC, whlC float64
+	for _, app := range apps {
+		jigC += float64(figH.RunSingle(app, schemes.KindJigsaw, RunOptions{}).Cycles)
+		whlC += float64(figH.RunSingle(app, schemes.KindWhirlpool, RunOptions{}).Cycles)
+	}
+	if whlC >= jigC {
+		t.Errorf("Whirlpool (%v) should beat Jigsaw (%v) over ported apps", whlC, jigC)
+	}
+}

@@ -1,0 +1,234 @@
+// Package experiments reproduces every table and figure in the paper's
+// evaluation. The Harness builds workloads, filters their traces through
+// the private cache levels once, and replays them against any scheme;
+// runner functions (fig*.go) regenerate each figure's rows.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"whirlpool/internal/addr"
+	"whirlpool/internal/energy"
+	"whirlpool/internal/llc"
+	"whirlpool/internal/mem"
+	"whirlpool/internal/noc"
+	"whirlpool/internal/schemes"
+	"whirlpool/internal/sim"
+	"whirlpool/internal/trace"
+	"whirlpool/internal/workloads"
+)
+
+// DefaultReconfigCycles is the scaled-down analogue of the paper's 25ms
+// reconfiguration period (see DESIGN.md: runs are ~10^8 cycles, so a 2M
+// cycle period yields a comparable number of reconfigurations per run).
+const DefaultReconfigCycles = 2_000_000
+
+// Harness caches built workloads and filtered traces so each app is
+// generated and private-filtered once per process, then replayed against
+// every scheme.
+type Harness struct {
+	// Scale multiplies every app's access count (1.0 = full runs).
+	Scale float64
+	// ReconfigCycles is the D-NUCA runtime period.
+	ReconfigCycles uint64
+	// Seed drives all workload generation.
+	Seed uint64
+
+	mu    sync.Mutex
+	cache map[string]*AppTrace
+}
+
+// AppTrace is a built app plus its LLC-level trace.
+type AppTrace struct {
+	W  *workloads.Workload
+	Tr *trace.LLCTrace
+}
+
+// NewHarness creates a harness at the given workload scale.
+func NewHarness(scale float64) *Harness {
+	return &Harness{
+		Scale:          scale,
+		ReconfigCycles: DefaultReconfigCycles,
+		Seed:           0xC0FFEE,
+		cache:          make(map[string]*AppTrace),
+	}
+}
+
+// App returns the cached trace for an app, building it on first use.
+func (h *Harness) App(name string) *AppTrace {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if at, ok := h.cache[name]; ok {
+		return at
+	}
+	spec, ok := workloads.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown app %q", name))
+	}
+	w := workloads.Build(spec, h.Scale)
+	tr := trace.FilterPrivate(w.Stream(h.Seed))
+	at := &AppTrace{W: w, Tr: tr}
+	h.cache[name] = at
+	return at
+}
+
+// poolClassifier builds the Whirlpool classifier for one app: line →
+// callpoint → pool (per grouping), giving each pool a per-core VC.
+func poolClassifier(w *workloads.Workload, grouping [][]int) llc.Classifier {
+	cpPools := w.CallpointPools(grouping)
+	space := w.Space
+	return func(core int, line addr.Line) llc.VCKey {
+		return llc.VCKey{
+			Core: int16(core),
+			Pool: cpPools[space.CallpointOfLine(line)],
+		}
+	}
+}
+
+// RunOptions tweak a single run.
+type RunOptions struct {
+	// Grouping overrides the pool classification (nil = the app's manual
+	// grouping from Table 2, or one pool if never ported).
+	Grouping [][]int
+	// NoBypass disables VC bypassing (the Fig 21/22 ablation).
+	NoBypass bool
+	// NoWarmup skips the warm-up pass (time-series figures that want to
+	// show the adaptation transient set this).
+	NoWarmup bool
+	// Chip overrides the default 4-core chip.
+	Chip *noc.Chip
+	// OnAccess / OnTick / PoolOf pass through to the simulator.
+	OnAccess func(now uint64, core int, a trace.LLCAccess, lat uint64, out llc.Outcome)
+	OnTick   func(now uint64)
+	PerPool  bool // enable per-structure pool counters
+	// LLCOverride, when set, is used instead of building kind (for
+	// ablation variants of Jigsaw/Whirlpool).
+	LLCOverride func(chip *noc.Chip, m *energy.Meter) llc.LLC
+}
+
+// RunSingle runs one app (on core 0 of a 4-core chip, like the paper's
+// dt example) under one scheme.
+func (h *Harness) RunSingle(app string, kind schemes.Kind, opt RunOptions) *sim.Result {
+	at := h.App(app)
+	chip := opt.Chip
+	if chip == nil {
+		chip = noc.FourCoreChip()
+	}
+	grouping := opt.Grouping
+	if grouping == nil {
+		grouping = at.W.ManualGrouping()
+	}
+	meter := &energy.Meter{}
+	var l llc.LLC
+	if opt.LLCOverride != nil {
+		l = opt.LLCOverride(chip, meter)
+	} else {
+		l = schemes.Build(kind, schemes.Options{
+			Chip:              chip,
+			Meter:             meter,
+			JigsawClassify:    llc.ThreadPrivate,
+			WhirlpoolClassify: poolClassifier(at.W, grouping),
+			ReconfigCycles:    h.ReconfigCycles,
+			JigsawBypass:      !opt.NoBypass,
+			WhirlpoolBypass:   !opt.NoBypass,
+		})
+	}
+	traces := make([]*trace.LLCTrace, chip.NCores())
+	traces[0] = at.Tr
+	cfg := sim.Config{
+		LLC:      l,
+		Meter:    meter,
+		Traces:   traces,
+		OnAccess: opt.OnAccess,
+		OnTick:   opt.OnTick,
+		Warmup:   !opt.NoWarmup,
+	}
+	if opt.PerPool {
+		space := at.W.Space
+		cfg.PoolOf = func(line addr.Line) mem.PoolID {
+			return mem.PoolID(space.CallpointOfLine(line))
+		}
+		cfg.NumPools = len(at.W.Structs) + 1
+	}
+	return sim.Run(cfg)
+}
+
+// mixLineOffset separates per-core address spaces in multi-programmed
+// mixes (apps are independent processes; shared arrays must not alias).
+func mixLineOffset(core int) addr.Line {
+	return addr.Line(uint64(core+1) << 44)
+}
+
+// offsetTrace clones a trace with all lines shifted for the given core.
+func offsetTrace(t *trace.LLCTrace, core int) *trace.LLCTrace {
+	out := *t
+	out.Accesses = make([]trace.LLCAccess, len(t.Accesses))
+	off := mixLineOffset(core)
+	for i, a := range t.Accesses {
+		a.Line += off
+		out.Accesses[i] = a
+	}
+	return &out
+}
+
+// RunMix runs one app per core under the fixed-work methodology
+// (Appendix A): every app keeps running until all finish one pass; stats
+// freeze at each app's first completion.
+func (h *Harness) RunMix(apps []string, kind schemes.Kind, chip *noc.Chip, noBypass bool) *sim.Result {
+	if len(apps) > chip.NCores() {
+		panic("experiments: more apps than cores")
+	}
+	meter := &energy.Meter{}
+
+	// Whirlpool classification across the mix: decode the core's app from
+	// the line offset.
+	type appCtx struct {
+		w       *workloads.Workload
+		cpPools map[mem.Callpoint]mem.PoolID
+	}
+	ctxs := make([]appCtx, len(apps))
+	traces := make([]*trace.LLCTrace, chip.NCores())
+	for c, name := range apps {
+		at := h.App(name)
+		ctxs[c] = appCtx{w: at.W, cpPools: at.W.CallpointPools(at.W.ManualGrouping())}
+		traces[c] = offsetTrace(at.Tr, c)
+	}
+	whirlpoolClassify := func(core int, line addr.Line) llc.VCKey {
+		if core >= len(ctxs) {
+			return llc.VCKey{Core: int16(core)}
+		}
+		orig := line - mixLineOffset(core)
+		ctx := &ctxs[core]
+		return llc.VCKey{
+			Core: int16(core),
+			Pool: ctx.cpPools[ctx.w.Space.CallpointOfLine(orig)],
+		}
+	}
+	l := schemes.Build(kind, schemes.Options{
+		Chip:              chip,
+		Meter:             meter,
+		JigsawClassify:    llc.ThreadPrivate,
+		WhirlpoolClassify: whirlpoolClassify,
+		ReconfigCycles:    h.ReconfigCycles,
+		JigsawBypass:      !noBypass,
+		WhirlpoolBypass:   !noBypass,
+	})
+	return sim.Run(sim.Config{
+		LLC:    l,
+		Meter:  meter,
+		Traces: traces,
+		Loop:   true,
+		Warmup: true,
+	})
+}
+
+// poolClassifierForTest exposes the classifier for white-box debugging.
+func poolClassifierForTest(at *AppTrace) llc.Classifier {
+	return poolClassifier(at.W, at.W.ManualGrouping())
+}
+
+// NewSNUCAForDebug exposes an S-NUCA build for white-box tests.
+func NewSNUCAForDebug(chip *noc.Chip, m *energy.Meter) llc.LLC {
+	return schemes.Build(schemes.KindSNUCALRU, schemes.Options{Chip: chip, Meter: m})
+}

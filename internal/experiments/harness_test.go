@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"testing"
+
+	"whirlpool/internal/noc"
+	"whirlpool/internal/schemes"
+	"whirlpool/internal/sim"
+)
+
+// The shared test harness runs at reduced scale to keep tests fast.
+var testH = NewHarness(0.15)
+
+func runAll(t *testing.T, app string) map[schemes.Kind]*sim.Result {
+	t.Helper()
+	out := make(map[schemes.Kind]*sim.Result)
+	for _, k := range schemes.AllKinds() {
+		out[k] = testH.RunSingle(app, k, RunOptions{})
+	}
+	return out
+}
+
+func TestAllSchemesRunDelaunay(t *testing.T) {
+	res := runAll(t, "delaunay")
+	for k, r := range res {
+		if r.Demand == 0 {
+			t.Fatalf("%v: no LLC accesses", k)
+		}
+		if r.Cycles == 0 || r.Instrs == 0 {
+			t.Fatalf("%v: empty run", k)
+		}
+		if r.Energy.Total() == 0 {
+			t.Fatalf("%v: no energy recorded", k)
+		}
+		if r.Hits+r.Misses+r.Bypasses != r.Demand {
+			t.Fatalf("%v: outcome counts %d+%d+%d != demand %d",
+				k, r.Hits, r.Misses, r.Bypasses, r.Demand)
+		}
+	}
+	// All schemes replay the same trace: identical instruction counts.
+	base := res[schemes.KindJigsaw].Instrs
+	for k, r := range res {
+		if r.Instrs != base {
+			t.Fatalf("%v: instrs %d != %d", k, r.Instrs, base)
+		}
+	}
+}
+
+// The headline dt result (Sec 2.1): Whirlpool beats Jigsaw beats S-NUCA
+// on both performance and data movement energy.
+func TestDelaunayOrdering(t *testing.T) {
+	res := runAll(t, "delaunay")
+	snuca := res[schemes.KindSNUCALRU]
+	jig := res[schemes.KindJigsaw]
+	whirl := res[schemes.KindWhirlpool]
+	if jig.Cycles >= snuca.Cycles {
+		t.Errorf("Jigsaw (%d cycles) should beat S-NUCA (%d)", jig.Cycles, snuca.Cycles)
+	}
+	if whirl.Cycles > jig.Cycles {
+		t.Errorf("Whirlpool (%d cycles) should not lose to Jigsaw (%d)", whirl.Cycles, jig.Cycles)
+	}
+	if whirl.Energy.Total() >= snuca.Energy.Total() {
+		t.Errorf("Whirlpool energy (%.0f) should beat S-NUCA (%.0f)",
+			whirl.Energy.Total(), snuca.Energy.Total())
+	}
+}
+
+// The mis case study (Fig 9/10): Whirlpool must bypass the streaming
+// edges pool and cut data movement energy substantially vs Jigsaw.
+func TestMISBypassAndEnergy(t *testing.T) {
+	jig := testH.RunSingle("MIS", schemes.KindJigsaw, RunOptions{})
+	whirl := testH.RunSingle("MIS", schemes.KindWhirlpool, RunOptions{})
+	if whirl.Bypasses == 0 {
+		t.Fatal("Whirlpool should bypass mis's edges pool")
+	}
+	if whirl.Cycles >= jig.Cycles {
+		t.Errorf("Whirlpool (%d cycles) should beat Jigsaw (%d) on mis", whirl.Cycles, jig.Cycles)
+	}
+	if whirl.Energy.Total() >= jig.Energy.Total() {
+		t.Errorf("Whirlpool energy (%.0f) should beat Jigsaw (%.0f) on mis",
+			whirl.Energy.Total(), jig.Energy.Total())
+	}
+	// Network + bank savings are where bypassing shows up.
+	if whirl.Energy.BankPJ >= jig.Energy.BankPJ {
+		t.Errorf("Whirlpool bank energy (%.0f) should drop vs Jigsaw (%.0f)",
+			whirl.Energy.BankPJ, jig.Energy.BankPJ)
+	}
+}
+
+// IdealSPD's bimodal behaviour (Sec 4.5): fine when the working set fits
+// its 1.5MB private region, expensive multi-level lookups when it does not.
+func TestIdealSPDEnergyOnLargeWS(t *testing.T) {
+	res := runAll(t, "MIS")
+	spd := res[schemes.KindIdealSPD]
+	whirl := res[schemes.KindWhirlpool]
+	if spd.Energy.Total() <= whirl.Energy.Total() {
+		t.Errorf("IdealSPD energy (%.0f) should exceed Whirlpool (%.0f) on a large-WS app",
+			spd.Energy.Total(), whirl.Energy.Total())
+	}
+}
+
+func TestPerPoolCounters(t *testing.T) {
+	r := testH.RunSingle("delaunay", schemes.KindWhirlpool, RunOptions{PerPool: true})
+	if len(r.PoolAccesses) == 0 {
+		t.Fatal("no per-pool counters")
+	}
+	// dt's three structures split accesses roughly evenly (Fig 2).
+	var nonzero int
+	for _, c := range r.PoolAccesses[1:] {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 3 {
+		t.Fatalf("dt should touch 3 pools, got %d: %v", nonzero, r.PoolAccesses)
+	}
+}
+
+func TestMixFixedWork(t *testing.T) {
+	h := NewHarness(0.05)
+	r := h.RunMix([]string{"mcf", "lbm", "MIS", "delaunay"}, schemes.KindWhirlpool,
+		noc.FourCoreChip(), false)
+	if len(r.Cores) != 4 {
+		t.Fatalf("cores = %d", len(r.Cores))
+	}
+	for c, cr := range r.Cores {
+		if cr.Instrs == 0 || cr.Cycles == 0 {
+			t.Fatalf("core %d: empty result", c)
+		}
+		if cr.IPC() <= 0 {
+			t.Fatalf("core %d: IPC %v", c, cr.IPC())
+		}
+	}
+}
+
+func TestMixWhirlpoolVsJigsawWeightedSpeedup(t *testing.T) {
+	h := NewHarness(0.05)
+	apps := []string{"mcf", "cactus", "MIS", "delaunay"}
+	jig := h.RunMix(apps, schemes.KindJigsaw, noc.FourCoreChip(), false)
+	whirl := h.RunMix(apps, schemes.KindWhirlpool, noc.FourCoreChip(), false)
+	ws := 0.0
+	for c := range apps {
+		ws += whirl.Cores[c].IPC() / jig.Cores[c].IPC()
+	}
+	ws /= float64(len(apps))
+	if ws < 0.97 {
+		t.Errorf("Whirlpool weighted speedup vs Jigsaw = %.3f; should not lose meaningfully", ws)
+	}
+}
+
+func TestHarnessTraceCaching(t *testing.T) {
+	h := NewHarness(0.02)
+	a := h.App("hull")
+	b := h.App("hull")
+	if a != b {
+		t.Fatal("trace not cached")
+	}
+}
+
+func TestRunSingleDeterministic(t *testing.T) {
+	h1 := NewHarness(0.05)
+	h2 := NewHarness(0.05)
+	r1 := h1.RunSingle("mcf", schemes.KindWhirlpool, RunOptions{})
+	r2 := h2.RunSingle("mcf", schemes.KindWhirlpool, RunOptions{})
+	if r1.Cycles != r2.Cycles || r1.Hits != r2.Hits || r1.Misses != r2.Misses {
+		t.Fatalf("nondeterministic: %d/%d/%d vs %d/%d/%d",
+			r1.Cycles, r1.Hits, r1.Misses, r2.Cycles, r2.Hits, r2.Misses)
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"sync"
+
+	"whirlpool/internal/addr"
+	"whirlpool/internal/mem"
+	"whirlpool/internal/whirltool"
+	"whirlpool/internal/workloads"
+)
+
+// whirlToolCache memoizes dendrograms per (app, train) so Fig 16's three
+// pool counts reuse one profiling run.
+type whirlToolCache struct {
+	mu   sync.Mutex
+	dens map[string]*whirltool.Dendrogram
+}
+
+var wtCache = whirlToolCache{dens: make(map[string]*whirltool.Dendrogram)}
+
+// Dendrogram profiles an app with WhirlTool and returns its clustering.
+// train profiles the paper's train/small inputs: a shorter run with a
+// different seed (different input graph/data, same program).
+func (h *Harness) Dendrogram(appName string, train bool) *whirltool.Dendrogram {
+	key := appName
+	if train {
+		key += "/train"
+	}
+	wtCache.mu.Lock()
+	if d, ok := wtCache.dens[key]; ok {
+		wtCache.mu.Unlock()
+		return d
+	}
+	wtCache.mu.Unlock()
+
+	spec, ok := workloads.ByName(appName)
+	if !ok {
+		panic("experiments: unknown app " + appName)
+	}
+	scale, seed := h.Scale, h.Seed
+	if train {
+		scale, seed = h.Scale*0.35, h.Seed+0x7121
+	}
+	w := workloads.Build(spec, scale)
+	interval := w.Accesses / 8
+	if interval < 10_000 {
+		interval = 10_000
+	}
+	prof := whirltool.NewProfiler(
+		func(l addr.Line) mem.Callpoint { return w.Space.CallpointOfLine(l) },
+		whirltool.ProfilerConfig{IntervalAccesses: interval},
+	)
+	st := w.Stream(seed)
+	for {
+		a, ok := st.Next()
+		if !ok {
+			break
+		}
+		prof.Access(a.Line)
+	}
+	d := whirltool.Analyze(prof.Finish())
+	wtCache.mu.Lock()
+	wtCache.dens[key] = d
+	wtCache.mu.Unlock()
+	return d
+}
+
+// WhirlToolGrouping returns the k-pool classification as struct-index
+// groups (callpoint i+1 tags structure i).
+func (h *Harness) WhirlToolGrouping(appName string, k int, train bool) [][]int {
+	d := h.Dendrogram(appName, train)
+	pools := d.Pools(k)
+	out := make([][]int, 0, len(pools))
+	for _, group := range pools {
+		g := make([]int, 0, len(group))
+		for _, cp := range group {
+			g = append(g, int(cp)-1)
+		}
+		out = append(out, g)
+	}
+	return out
+}

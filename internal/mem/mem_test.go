@@ -1,0 +1,177 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"whirlpool/internal/addr"
+)
+
+func TestPoolCreate(t *testing.T) {
+	s := NewSpace()
+	p1 := s.PoolCreate("vertices")
+	p2 := s.PoolCreate("edges")
+	if p1 == p2 || p1 == DefaultPool || p2 == DefaultPool {
+		t.Fatalf("pool ids not distinct: %d %d", p1, p2)
+	}
+	if s.PoolName(p1) != "vertices" {
+		t.Fatalf("name = %q", s.PoolName(p1))
+	}
+	if s.NumPools() != 3 {
+		t.Fatalf("NumPools = %d, want 3 (default + 2)", s.NumPools())
+	}
+}
+
+func TestMallocPoolOwnership(t *testing.T) {
+	s := NewSpace()
+	p1 := s.PoolCreate("a")
+	p2 := s.PoolCreate("b")
+	a1 := s.Malloc(1000, p1, NoCallpoint)
+	a2 := s.Malloc(1000, p2, NoCallpoint)
+	if s.PoolOf(a1) != p1 || s.PoolOf(a2) != p2 {
+		t.Fatal("PoolOf mismatch")
+	}
+	// Every line of each allocation belongs to its pool.
+	for off := uint64(0); off < 1000; off += 64 {
+		if s.PoolOfLine(addr.LineOf(a1+addr.Addr(off))) != p1 {
+			t.Fatal("line ownership violated")
+		}
+	}
+}
+
+func TestPagesNeverShared(t *testing.T) {
+	// The paper's allocator contract: a page belongs to exactly one pool.
+	s := NewSpace()
+	p1 := s.PoolCreate("a")
+	p2 := s.PoolCreate("b")
+	pages := make(map[addr.Page]PoolID)
+	for i := 0; i < 200; i++ {
+		pool := p1
+		if i%2 == 1 {
+			pool = p2
+		}
+		a := s.Malloc(100, pool, NoCallpoint)
+		for off := uint64(0); off < 100; off += 64 {
+			pg := addr.PageOf(a + addr.Addr(off))
+			if prev, ok := pages[pg]; ok && prev != pool {
+				t.Fatalf("page %d shared by pools %d and %d", pg, prev, pool)
+			}
+			pages[pg] = pool
+		}
+	}
+}
+
+func TestSmallAllocationsDoNotStraddlePages(t *testing.T) {
+	s := NewSpace()
+	for i := 0; i < 1000; i++ {
+		a := s.Malloc(96, DefaultPool, NoCallpoint) // rounds to 128
+		first := addr.PageOf(a)
+		last := addr.PageOf(a + 127)
+		if first != last {
+			t.Fatalf("allocation %d straddles pages", i)
+		}
+	}
+}
+
+func TestLargeAllocationsPageAligned(t *testing.T) {
+	s := NewSpace()
+	a := s.Malloc(100*addr.KB, DefaultPool, NoCallpoint)
+	if uint64(a)%addr.PageBytes != 0 {
+		t.Fatalf("large allocation not page aligned: %#x", uint64(a))
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := NewSpace()
+	a := s.Malloc(128, DefaultPool, NoCallpoint)
+	s.Free(a)
+	b := s.Malloc(128, DefaultPool, NoCallpoint)
+	if a != b {
+		t.Fatalf("free-list reuse failed: %#x then %#x", uint64(a), uint64(b))
+	}
+}
+
+func TestFreePagesReused(t *testing.T) {
+	s := NewSpace()
+	a := s.Malloc(64*addr.KB, DefaultPool, NoCallpoint)
+	s.Free(a)
+	b := s.Malloc(32*addr.KB, DefaultPool, NoCallpoint)
+	if b != a {
+		t.Fatalf("page run not reused: %#x vs %#x", uint64(b), uint64(a))
+	}
+}
+
+func TestFreeUnknownPanics(t *testing.T) {
+	s := NewSpace()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Free(addr.Addr(1 << 40))
+}
+
+func TestRealloc(t *testing.T) {
+	s := NewSpace()
+	p := s.PoolCreate("x")
+	a := s.Malloc(100, p, NoCallpoint)
+	b := s.Realloc(a, 50) // shrink: stays
+	if a != b {
+		t.Fatal("shrinking realloc moved")
+	}
+	c := s.Realloc(a, 100000) // grow: moves, stays in pool
+	if s.PoolOf(c) != p {
+		t.Fatal("realloc left the pool")
+	}
+}
+
+func TestCalloc(t *testing.T) {
+	s := NewSpace()
+	a := s.Calloc(100, 8, DefaultPool, NoCallpoint)
+	if s.PoolOf(a) != DefaultPool {
+		t.Fatal("calloc pool wrong")
+	}
+}
+
+func TestCallpointTracking(t *testing.T) {
+	s := NewSpace()
+	a := s.Malloc(100, DefaultPool, Callpoint(7))
+	b := s.Malloc(100, DefaultPool, Callpoint(9))
+	if s.CallpointOf(a) != 7 || s.CallpointOf(b) != 9 {
+		t.Fatal("callpoint mismatch")
+	}
+	if s.CallpointOfLine(addr.LineOf(a)) != 7 {
+		t.Fatal("CallpointOfLine mismatch")
+	}
+	// Different callpoints must not share pages.
+	if addr.PageOf(a) == addr.PageOf(b) {
+		t.Fatal("different callpoints share a page")
+	}
+}
+
+func TestPoolBytes(t *testing.T) {
+	s := NewSpace()
+	p := s.PoolCreate("big")
+	s.Malloc(1*addr.MB, p, NoCallpoint)
+	s.Malloc(2*addr.MB, p, NoCallpoint)
+	pb := s.PoolBytes()
+	if pb[p] < 3*addr.MB {
+		t.Fatalf("pool bytes = %d, want >= 3MB", pb[p])
+	}
+}
+
+func TestQuickPoolOfAlwaysMatchesAllocation(t *testing.T) {
+	s := NewSpace()
+	pools := []PoolID{DefaultPool, s.PoolCreate("a"), s.PoolCreate("b"), s.PoolCreate("c")}
+	f := func(sizeRaw uint16, poolRaw, cpRaw uint8) bool {
+		size := uint64(sizeRaw)%8192 + 1
+		pool := pools[int(poolRaw)%len(pools)]
+		cp := Callpoint(cpRaw % 4)
+		a := s.Malloc(size, pool, cp)
+		return s.PoolOf(a) == pool && s.CallpointOf(a) == cp &&
+			s.PoolOf(a+addr.Addr(size-1)) == pool
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

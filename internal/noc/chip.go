@@ -1,0 +1,46 @@
+package noc
+
+import "whirlpool/internal/addr"
+
+// Table 3 latency parameters shared by all LLC organizations.
+const (
+	// BankLatency is one LLC bank access (9-cycle zcache bank).
+	BankLatency = 9
+	// MemLatency is main memory zero-load latency in cycles.
+	MemLatency = 120
+	// DirLatency is a directory lookup (IdealSPD).
+	DirLatency = 6
+)
+
+// Chip bundles the mesh with bank geometry; it is the static hardware
+// configuration every scheme is built against.
+type Chip struct {
+	Mesh      *Mesh
+	BankBytes uint64
+}
+
+// NBanks returns the number of LLC banks.
+func (c *Chip) NBanks() int { return c.Mesh.NBanks }
+
+// NCores returns the number of cores.
+func (c *Chip) NCores() int { return len(c.Mesh.Cores) }
+
+// BankLines returns one bank's capacity in cache lines.
+func (c *Chip) BankLines() uint64 { return c.BankBytes / addr.LineBytes }
+
+// TotalLines returns the whole LLC's capacity in lines.
+func (c *Chip) TotalLines() uint64 { return c.BankLines() * uint64(c.NBanks()) }
+
+// TotalBytes returns the whole LLC's capacity in bytes.
+func (c *Chip) TotalBytes() uint64 { return c.BankBytes * uint64(c.NBanks()) }
+
+// FourCoreChip is the 4-core, 25-bank, 512KB/bank chip of Fig 1
+// (3.1MB/core).
+func FourCoreChip() *Chip {
+	return &Chip{Mesh: FourCoreMesh(), BankBytes: 512 * addr.KB}
+}
+
+// SixteenCoreChip is the 16-core, 81-bank chip of Fig 12 (2.5MB/core).
+func SixteenCoreChip() *Chip {
+	return &Chip{Mesh: SixteenCoreMesh(), BankBytes: 512 * addr.KB}
+}

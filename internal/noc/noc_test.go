@@ -1,0 +1,125 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHops(t *testing.T) {
+	if h := Hops(Coord{0, 0}, Coord{3, 4}); h != 7 {
+		t.Fatalf("Hops = %d, want 7", h)
+	}
+	if h := Hops(Coord{2, 2}, Coord{2, 2}); h != 0 {
+		t.Fatalf("Hops same coord = %d, want 0", h)
+	}
+}
+
+func TestHopLatency(t *testing.T) {
+	if HopLatency(0) != 0 {
+		t.Fatal("zero hops should be zero latency")
+	}
+	// 1 hop: 1 link + 2 routers = 2 + 6 = 8.
+	if HopLatency(1) != 8 {
+		t.Fatalf("HopLatency(1) = %d, want 8", HopLatency(1))
+	}
+	if HopLatency(2) <= HopLatency(1) {
+		t.Fatal("latency must grow with hops")
+	}
+}
+
+func TestFourCoreMeshGeometry(t *testing.T) {
+	m := FourCoreMesh()
+	if m.K != 5 || m.NBanks != 25 {
+		t.Fatalf("bad mesh: K=%d banks=%d", m.K, m.NBanks)
+	}
+	if len(m.Cores) != 4 {
+		t.Fatalf("want 4 cores, got %d", len(m.Cores))
+	}
+}
+
+func TestSixteenCoreMeshGeometry(t *testing.T) {
+	m := SixteenCoreMesh()
+	if m.K != 9 || m.NBanks != 81 {
+		t.Fatalf("bad mesh: K=%d banks=%d", m.K, m.NBanks)
+	}
+	if len(m.Cores) != 16 {
+		t.Fatalf("want 16 cores, got %d", len(m.Cores))
+	}
+	if len(m.MemCtls) != 4 {
+		t.Fatalf("want 4 MCUs, got %d", len(m.MemCtls))
+	}
+}
+
+func TestBanksByDistanceSorted(t *testing.T) {
+	m := FourCoreMesh()
+	for c := 0; c < 4; c++ {
+		order := m.BanksByDistance(c)
+		if len(order) != 25 {
+			t.Fatalf("core %d: %d banks", c, len(order))
+		}
+		for i := 1; i < len(order); i++ {
+			if m.CoreBankHops(c, order[i-1]) > m.CoreBankHops(c, order[i]) {
+				t.Fatalf("core %d: order not sorted at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestBankCoordRoundTrip(t *testing.T) {
+	m := FourCoreMesh()
+	for b := 0; b < m.NBanks; b++ {
+		if m.BankID(m.BankCoord(b)) != b {
+			t.Fatalf("bank %d round trip failed", b)
+		}
+	}
+}
+
+func TestAvgLatencyNearestMonotone(t *testing.T) {
+	m := FourCoreMesh()
+	prev := 0.0
+	for n := 1; n <= 25; n++ {
+		l := m.AvgLatencyNearest(0, n)
+		if l < prev {
+			t.Fatalf("avg latency decreased at n=%d: %v < %v", n, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestChipGeometry(t *testing.T) {
+	c := FourCoreChip()
+	if c.TotalBytes() != 25*512*1024 {
+		t.Fatalf("TotalBytes = %d", c.TotalBytes())
+	}
+	if c.BankLines() != 8192 {
+		t.Fatalf("BankLines = %d", c.BankLines())
+	}
+	if c.TotalLines() != 25*8192 {
+		t.Fatalf("TotalLines = %d", c.TotalLines())
+	}
+	if c.NCores() != 4 {
+		t.Fatalf("NCores = %d", c.NCores())
+	}
+}
+
+func TestQuickHopsSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by uint8) bool {
+		a := Coord{int(ax % 9), int(ay % 9)}
+		b := Coord{int(bx % 9), int(by % 9)}
+		return Hops(a, b) == Hops(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHops2TriangleInequality(t *testing.T) {
+	m := FourCoreMesh()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a%25), int(b%25), int(c%25)
+		return m.Hops2(x, z) <= m.Hops2(x, y)+m.Hops2(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package partition is the METIS substitute: it splits a graph into k
+// balanced parts while minimizing edge cut, via greedy BFS region growing
+// followed by Kernighan–Lin-style boundary refinement. PaWS uses it to
+// give each core a partition of the input graph (Sec 3.4).
+package partition
+
+import (
+	"whirlpool/internal/graph"
+	"whirlpool/internal/stats"
+)
+
+// Partition assigns each vertex to one of k parts.
+func Partition(g *graph.CSR, k int, seed uint64) []int32 {
+	if k <= 1 {
+		return make([]int32, g.N)
+	}
+	parts := bfsGrow(g, k, seed)
+	refine(g, parts, k, 8)
+	return parts
+}
+
+// bfsGrow grows k regions from spread-out seeds, claiming vertices in BFS
+// order with per-part capacity n/k (+slack); leftovers round-robin.
+func bfsGrow(g *graph.CSR, k int, seed uint64) []int32 {
+	rng := stats.NewRng(seed)
+	parts := make([]int32, g.N)
+	for i := range parts {
+		parts[i] = -1
+	}
+	capacity := (g.N + k - 1) / k
+	counts := make([]int, k)
+	queues := make([][]int32, k)
+	// Seeds: random distinct vertices.
+	for p := 0; p < k; p++ {
+		for {
+			v := int32(rng.Intn(g.N))
+			if parts[v] == -1 {
+				parts[v] = int32(p)
+				counts[p]++
+				queues[p] = append(queues[p], v)
+				break
+			}
+		}
+	}
+	// Round-robin BFS expansion so regions grow evenly.
+	for {
+		progress := false
+		for p := 0; p < k; p++ {
+			if counts[p] >= capacity || len(queues[p]) == 0 {
+				continue
+			}
+			v := queues[p][0]
+			queues[p] = queues[p][1:]
+			for _, u := range g.Neighbors(v) {
+				if parts[u] == -1 && counts[p] < capacity {
+					parts[u] = int32(p)
+					counts[p]++
+					queues[p] = append(queues[p], u)
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			done := true
+			for p := 0; p < k; p++ {
+				if len(queues[p]) > 0 && counts[p] < capacity {
+					done = false
+				}
+			}
+			if done {
+				break
+			}
+		}
+	}
+	// Unreached vertices (disconnected): fill the lightest parts.
+	for v := 0; v < g.N; v++ {
+		if parts[v] == -1 {
+			best := 0
+			for p := 1; p < k; p++ {
+				if counts[p] < counts[best] {
+					best = p
+				}
+			}
+			parts[v] = int32(best)
+			counts[best]++
+		}
+	}
+	return parts
+}
+
+// refine runs boundary-vertex passes: move a vertex to the neighboring
+// part where most of its edges live, if balance permits.
+func refine(g *graph.CSR, parts []int32, k, passes int) {
+	counts := make([]int, k)
+	for _, p := range parts {
+		counts[p]++
+	}
+	maxSize := (g.N/k)*11/10 + 1 // 10% imbalance tolerance
+	gainCount := make([]int, k)
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for v := int32(0); v < int32(g.N); v++ {
+			cur := parts[v]
+			neigh := g.Neighbors(v)
+			if len(neigh) == 0 {
+				continue
+			}
+			for i := range gainCount {
+				gainCount[i] = 0
+			}
+			for _, u := range neigh {
+				gainCount[parts[u]]++
+			}
+			best := cur
+			for p := int32(0); p < int32(k); p++ {
+				if p == cur || counts[p] >= maxSize {
+					continue
+				}
+				if gainCount[p] > gainCount[best] {
+					best = p
+				}
+			}
+			if best != cur && counts[cur] > 1 {
+				parts[v] = best
+				counts[cur]--
+				counts[best]++
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// EdgeCut counts edges crossing partitions (each undirected edge counted
+// once).
+func EdgeCut(g *graph.CSR, parts []int32) int {
+	cut := 0
+	for v := int32(0); v < int32(g.N); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v && parts[u] != parts[v] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Sizes returns per-part vertex counts.
+func Sizes(parts []int32, k int) []int {
+	out := make([]int, k)
+	for _, p := range parts {
+		out[p]++
+	}
+	return out
+}

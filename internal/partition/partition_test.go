@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"testing"
+
+	"whirlpool/internal/graph"
+	"whirlpool/internal/stats"
+)
+
+func TestPartitionBalance(t *testing.T) {
+	g := graph.RMAT(12, 8, 1)
+	k := 16
+	parts := Partition(g, k, 7)
+	sizes := Sizes(parts, k)
+	want := g.N / k
+	for p, s := range sizes {
+		if s < want/2 || s > want*2 {
+			t.Fatalf("partition %d has %d vertices, want ~%d", p, s, want)
+		}
+	}
+}
+
+func TestPartitionCoversAllVertices(t *testing.T) {
+	g := graph.Uniform(2000, 6, 2)
+	parts := Partition(g, 8, 3)
+	if len(parts) != g.N {
+		t.Fatalf("len(parts) = %d", len(parts))
+	}
+	for v, p := range parts {
+		if p < 0 || p >= 8 {
+			t.Fatalf("vertex %d in invalid part %d", v, p)
+		}
+	}
+}
+
+func TestPartitionBeatsRandomCut(t *testing.T) {
+	// The whole point of the METIS substitute: far lower edge cut than a
+	// random assignment.
+	g := graph.Grid2D(64, 64)
+	k := 16
+	parts := Partition(g, k, 5)
+	cut := EdgeCut(g, parts)
+
+	rng := stats.NewRng(9)
+	random := make([]int32, g.N)
+	for i := range random {
+		random[i] = int32(rng.Intn(k))
+	}
+	randomCut := EdgeCut(g, random)
+	if cut*3 > randomCut {
+		t.Fatalf("partitioner cut %d not clearly better than random %d", cut, randomCut)
+	}
+}
+
+func TestPartitionGridCutNearOptimal(t *testing.T) {
+	// A 64x64 grid into 16 parts: optimal cut is ~ 4x4 blocks of 16x16 =
+	// 24 boundaries x 16 = 384 edges. Accept within 3x.
+	g := graph.Grid2D(64, 64)
+	parts := Partition(g, 16, 11)
+	cut := EdgeCut(g, parts)
+	if cut > 3*384 {
+		t.Fatalf("grid cut %d, want <= %d", cut, 3*384)
+	}
+}
+
+func TestPartitionSinglePart(t *testing.T) {
+	g := graph.Uniform(100, 4, 1)
+	parts := Partition(g, 1, 1)
+	for _, p := range parts {
+		if p != 0 {
+			t.Fatal("k=1 must put everything in part 0")
+		}
+	}
+	if EdgeCut(g, parts) != 0 {
+		t.Fatal("k=1 cut must be 0")
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := graph.RMAT(10, 6, 4)
+	a := Partition(g, 8, 42)
+	b := Partition(g, 8, 42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("partitioning not deterministic")
+		}
+	}
+}
+
+func TestEdgeCutCountsOnce(t *testing.T) {
+	g := graph.FromEdges(2, [][2]int32{{0, 1}})
+	parts := []int32{0, 1}
+	if cut := EdgeCut(g, parts); cut != 1 {
+		t.Fatalf("cut = %d, want 1", cut)
+	}
+}

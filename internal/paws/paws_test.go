@@ -1,0 +1,142 @@
+package paws
+
+import (
+	"testing"
+
+	"whirlpool/internal/noc"
+)
+
+func TestSpecsWellFormed(t *testing.T) {
+	specs := Specs()
+	if len(specs) != 6 {
+		t.Fatalf("parallel suite has %d apps, want 6", len(specs))
+	}
+	for _, s := range specs {
+		if s.LocalVertexFrac+s.LocalEdgeFrac > 1 {
+			t.Fatalf("%s: access mix exceeds 1", s.Name)
+		}
+		if s.Rounds <= 0 || s.TasksPerPart <= 0 || s.UnitsPerTask <= 0 {
+			t.Fatalf("%s: empty task shape", s.Name)
+		}
+		if s.UseGraph && (s.GraphScale == 0 || s.EdgeFactor == 0) {
+			t.Fatalf("%s: graph app without graph params", s.Name)
+		}
+	}
+}
+
+func TestBuildRegularApp(t *testing.T) {
+	spec, _ := SpecByName("mergesort")
+	a := Build(spec, 16, 1)
+	if len(a.Pools) != 16 {
+		t.Fatalf("pools = %d", len(a.Pools))
+	}
+	if len(a.Tasks) != spec.Rounds*16*spec.TasksPerPart {
+		t.Fatalf("tasks = %d", len(a.Tasks))
+	}
+	// Distinct pools per partition; lines resolve to the right pool.
+	for p := 0; p < 16; p++ {
+		if got := a.PoolOfLine(a.vertexBase[p]); got != a.Pools[p] {
+			t.Fatalf("partition %d vertex pool = %d, want %d", p, got, a.Pools[p])
+		}
+		if got := a.PoolOfLine(a.edgeBase[p]); got != a.Pools[p] {
+			t.Fatalf("partition %d edge pool mismatch", p)
+		}
+	}
+}
+
+func TestBuildGraphApp(t *testing.T) {
+	spec, _ := SpecByName("pagerank")
+	spec.GraphScale = 12 // smaller for test speed
+	a := Build(spec, 16, 1)
+	if a.EdgeCut == 0 {
+		t.Fatal("graph app should report an edge cut")
+	}
+	if a.RemoteFrac <= 0 || a.RemoteFrac > 0.9 {
+		t.Fatalf("remote frac = %v", a.RemoteFrac)
+	}
+	// Footprints proportional to partition sizes: all nonzero.
+	for p := 0; p < 16; p++ {
+		if a.vertexLines[p] == 0 || a.edgeLines[p] == 0 {
+			t.Fatalf("partition %d has empty data", p)
+		}
+	}
+}
+
+func TestRunExecutesAllTasks(t *testing.T) {
+	spec, _ := SpecByName("mergesort")
+	a := Build(spec, 16, 1)
+	mesh := noc.SixteenCoreMesh()
+	res := Run(a, 16, Conventional, mesh, 3)
+	var want uint64
+	for _, task := range a.Tasks {
+		want += uint64(task.Units)
+	}
+	if res.TotalAccesses != want {
+		t.Fatalf("accesses = %d, want %d", res.TotalAccesses, want)
+	}
+	var streamed uint64
+	for _, s := range res.Streams {
+		streamed += uint64(len(s))
+	}
+	if streamed != want {
+		t.Fatalf("streamed = %d, want %d", streamed, want)
+	}
+}
+
+// The core PaWS property: partition data is overwhelmingly accessed from
+// its owner core, while conventional stealing scatters it.
+func TestPaWSAffinity(t *testing.T) {
+	spec, _ := SpecByName("delaunay")
+	a := Build(spec, 16, 1)
+	mesh := noc.SixteenCoreMesh()
+	conv := Run(a, 16, Conventional, mesh, 3)
+	paws := Run(a, 16, PaWS, mesh, 3)
+	convAff := float64(conv.HomeAccesses) / float64(conv.TotalAccesses)
+	pawsAff := float64(paws.HomeAccesses) / float64(paws.TotalAccesses)
+	if pawsAff < 0.5 {
+		t.Fatalf("PaWS affinity %.2f, want >= 0.5", pawsAff)
+	}
+	if pawsAff < convAff*2 {
+		t.Fatalf("PaWS affinity %.2f not clearly above conventional %.2f", pawsAff, convAff)
+	}
+}
+
+func TestStealingHappens(t *testing.T) {
+	// Skewed tasks must force steals even under PaWS.
+	spec, _ := SpecByName("connectedComponents")
+	spec.GraphScale = 12
+	a := Build(spec, 16, 1)
+	mesh := noc.SixteenCoreMesh()
+	res := Run(a, 16, PaWS, mesh, 3)
+	if res.Steals == 0 {
+		t.Fatal("no steals under load imbalance")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	spec, _ := SpecByName("fft")
+	a1 := Build(spec, 16, 1)
+	a2 := Build(spec, 16, 1)
+	mesh := noc.SixteenCoreMesh()
+	r1 := Run(a1, 16, PaWS, mesh, 5)
+	r2 := Run(a2, 16, PaWS, mesh, 5)
+	if r1.TotalAccesses != r2.TotalAccesses || r1.Steals != r2.Steals {
+		t.Fatal("schedule not deterministic")
+	}
+	for c := range r1.Streams {
+		if len(r1.Streams[c]) != len(r2.Streams[c]) {
+			t.Fatal("streams not deterministic")
+		}
+	}
+}
+
+func TestPartitionsMustMatchCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	spec, _ := SpecByName("mergesort")
+	a := Build(spec, 8, 1)
+	Run(a, 16, PaWS, noc.SixteenCoreMesh(), 1)
+}

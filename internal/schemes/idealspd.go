@@ -1,0 +1,135 @@
+package schemes
+
+import (
+	"whirlpool/internal/addr"
+	"whirlpool/internal/cache"
+	"whirlpool/internal/energy"
+	"whirlpool/internal/llc"
+	"whirlpool/internal/noc"
+	"whirlpool/internal/stats"
+	"whirlpool/internal/trace"
+)
+
+// IdealSPD is the idealized private-baseline D-NUCA of Appendix A: each
+// core owns a private 1.5MB L3 that replicates its closest banks, backed
+// by a fully-provisioned directory and an exclusive S-NUCA L4 victim cache
+// granted the *full* LLC capacity (private regions do not reduce shared
+// capacity). It upper-bounds shared-private D-NUCAs (DCC, ASR, ECC).
+//
+// Its characteristic costs — multi-level lookups and migration traffic on
+// every private miss — are exactly what the paper charges it for.
+type IdealSPD struct {
+	chip  *noc.Chip
+	meter *energy.Meter
+	priv  []*cache.SetAssoc
+	l4    *cache.SetAssoc
+
+	Hits, Misses  uint64 // Hits: anywhere on chip
+	PrivHits      uint64
+	L4Hits        uint64
+	WritebacksMem uint64
+}
+
+const (
+	privBytes = 1536 * addr.KB
+	privWays  = 12
+	// privLatency: the private region replicates the 3 closest banks —
+	// one bank lookup plus a short hop.
+	privHops = 1
+)
+
+// NewIdealSPD builds the idealized shared-private D-NUCA.
+func NewIdealSPD(chip *noc.Chip, meter *energy.Meter) *IdealSPD {
+	s := &IdealSPD{
+		chip:  chip,
+		meter: meter,
+		l4:    cache.NewSetAssoc(chip.TotalBytes(), chip.NBanks(), cache.LRU),
+	}
+	for c := 0; c < chip.NCores(); c++ {
+		s.priv = append(s.priv, cache.NewSetAssoc(privBytes, privWays, cache.LRU))
+	}
+	return s
+}
+
+// Name implements llc.LLC.
+func (s *IdealSPD) Name() string { return "IdealSPD" }
+
+func (s *IdealSPD) homeBank(l addr.Line) int {
+	return int(stats.Hash64(uint64(l)) % uint64(s.chip.NBanks()))
+}
+
+// spill inserts a private-L3 victim into the exclusive L4, charging the
+// migration traffic private-baseline D-NUCAs pay.
+func (s *IdealSPD) spill(core int, ev cache.Eviction) {
+	m := s.chip.Mesh
+	home := s.homeBank(ev.Line)
+	s.meter.AddBank(1)
+	s.meter.AddHops(m.CoreBankHops(core, home))
+	_, ev4, evd4 := s.l4.Access(ev.Line, ev.Dirty)
+	if evd4 && ev4.Dirty {
+		s.meter.AddDRAM(1)
+		s.meter.AddHops(m.BankMemHops(s.homeBank(ev4.Line)))
+		s.WritebacksMem++
+	}
+}
+
+// Access implements llc.LLC.
+func (s *IdealSPD) Access(core int, a trace.LLCAccess) (uint64, llc.Outcome) {
+	m := s.chip.Mesh
+	p := s.priv[core]
+	if a.Writeback {
+		if p.Writeback(a.Line) {
+			s.meter.AddTagProbe(1)
+			return 0, llc.Miss
+		}
+		home := s.homeBank(a.Line)
+		s.meter.AddTagProbe(1)
+		s.meter.AddHops(m.CoreBankHops(core, home))
+		if s.l4.Writeback(a.Line) {
+			s.meter.AddTagProbe(1)
+		} else {
+			s.meter.AddDRAM(1)
+			s.meter.AddHops(m.BankMemHops(home))
+			s.WritebacksMem++
+		}
+		return 0, llc.Miss
+	}
+
+	// Level 1: the private region (closest banks first).
+	lat := uint64(noc.BankLatency + 2*noc.HopLatency(privHops))
+	s.meter.AddBank(1)
+	s.meter.AddHops(privHops)
+	hit, evP, evdP := p.Access(a.Line, a.Write)
+	if hit {
+		s.Hits++
+		s.PrivHits++
+		return lat, llc.Hit
+	}
+	if evdP {
+		s.spill(core, evP)
+	}
+	// Level 2: directory + exclusive L4, accessed in parallel.
+	home := s.homeBank(a.Line)
+	hops := m.CoreBankHops(core, home)
+	lat += 2*noc.HopLatency(hops) + noc.BankLatency + noc.DirLatency
+	s.meter.AddDirLookup(1)
+	s.meter.AddBank(1)
+	s.meter.AddHops(hops)
+	if present, _ := s.l4.Invalidate(a.Line); present {
+		// Exclusive hit: migrate the line into the private region.
+		s.Hits++
+		s.L4Hits++
+		return lat, llc.Hit
+	}
+	s.Misses++
+	memHops := m.BankMemHops(home)
+	lat += noc.MemLatency + 2*noc.HopLatency(memHops)
+	s.meter.AddDRAM(1)
+	s.meter.AddHops(memHops)
+	return lat, llc.Miss
+}
+
+// Tick implements llc.LLC (no runtime).
+func (s *IdealSPD) Tick(uint64) {}
+
+var _ llc.LLC = (*IdealSPD)(nil)

@@ -1,0 +1,94 @@
+package schemes
+
+import (
+	"whirlpool/internal/cache"
+	"whirlpool/internal/energy"
+	"whirlpool/internal/jigsaw"
+	"whirlpool/internal/llc"
+	"whirlpool/internal/noc"
+)
+
+// Kind enumerates the six evaluated schemes.
+type Kind int
+
+// The evaluated schemes, in the order the paper's figures present them.
+const (
+	KindSNUCALRU Kind = iota
+	KindSNUCADRRIP
+	KindIdealSPD
+	KindAwasthi
+	KindJigsaw
+	KindWhirlpool
+)
+
+// String returns the figure label for the scheme.
+func (k Kind) String() string {
+	switch k {
+	case KindSNUCALRU:
+		return "LRU"
+	case KindSNUCADRRIP:
+		return "DRRIP"
+	case KindIdealSPD:
+		return "IdealSPD"
+	case KindAwasthi:
+		return "Awasthi"
+	case KindJigsaw:
+		return "Jigsaw"
+	case KindWhirlpool:
+		return "Whirlpool"
+	}
+	return "unknown"
+}
+
+// AllKinds lists the schemes in presentation order.
+func AllKinds() []Kind {
+	return []Kind{KindSNUCALRU, KindSNUCADRRIP, KindIdealSPD, KindAwasthi, KindJigsaw, KindWhirlpool}
+}
+
+// Options configures scheme construction.
+type Options struct {
+	Chip  *noc.Chip
+	Meter *energy.Meter
+	// JigsawClassify is the classifier plain Jigsaw uses (thread-private
+	// or process-shared VCs).
+	JigsawClassify llc.Classifier
+	// WhirlpoolClassify adds per-pool VCs.
+	WhirlpoolClassify llc.Classifier
+	// ReconfigCycles is the runtime period for Jigsaw/Whirlpool/Awasthi.
+	ReconfigCycles uint64
+	// Bypass controls VC bypassing (on by default in the paper's
+	// evaluation; the NoBypass variants are an ablation).
+	JigsawBypass    bool
+	WhirlpoolBypass bool
+}
+
+// Build constructs the requested scheme.
+func Build(k Kind, o Options) llc.LLC {
+	switch k {
+	case KindSNUCALRU:
+		return NewSNUCA(o.Chip, o.Meter, cache.LRU)
+	case KindSNUCADRRIP:
+		return NewSNUCA(o.Chip, o.Meter, cache.DRRIP)
+	case KindIdealSPD:
+		return NewIdealSPD(o.Chip, o.Meter)
+	case KindAwasthi:
+		return NewAwasthi(o.Chip, o.Meter, o.ReconfigCycles)
+	case KindJigsaw:
+		return jigsaw.New(jigsaw.Config{
+			Chip: o.Chip, Meter: o.Meter,
+			Classify:       o.JigsawClassify,
+			SchemeName:     "Jigsaw",
+			BypassEnabled:  o.JigsawBypass,
+			ReconfigCycles: o.ReconfigCycles,
+		})
+	case KindWhirlpool:
+		return jigsaw.New(jigsaw.Config{
+			Chip: o.Chip, Meter: o.Meter,
+			Classify:       o.WhirlpoolClassify,
+			SchemeName:     "Whirlpool",
+			BypassEnabled:  o.WhirlpoolBypass,
+			ReconfigCycles: o.ReconfigCycles,
+		})
+	}
+	panic("schemes: unknown kind")
+}

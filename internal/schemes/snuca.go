@@ -1,0 +1,89 @@
+// Package schemes implements the baseline LLC organizations the paper
+// compares against — S-NUCA with LRU and DRRIP replacement, IdealSPD (an
+// idealized private-baseline D-NUCA), and Awasthi et al.'s page-migration
+// shared-baseline D-NUCA — and re-exports constructors for Jigsaw and
+// Whirlpool so experiments can build all six uniformly.
+package schemes
+
+import (
+	"whirlpool/internal/cache"
+	"whirlpool/internal/energy"
+	"whirlpool/internal/llc"
+	"whirlpool/internal/noc"
+	"whirlpool/internal/stats"
+	"whirlpool/internal/trace"
+)
+
+// SNUCA hashes addresses evenly across all banks (the commercial static
+// NUCA design of Sec 2.1): one shared cache, bank chosen by address hash.
+type SNUCA struct {
+	chip  *noc.Chip
+	meter *energy.Meter
+	arr   *cache.SetAssoc
+	name  string
+
+	Hits, Misses  uint64
+	WritebacksMem uint64
+}
+
+// NewSNUCA builds an S-NUCA LLC with the given replacement policy. The
+// array is modeled as one shared structure with associativity equal to the
+// bank count (the per-bank 52-candidate zcaches give near-ideal
+// associativity; see DESIGN.md).
+func NewSNUCA(chip *noc.Chip, meter *energy.Meter, repl cache.Repl) *SNUCA {
+	return &SNUCA{
+		chip:  chip,
+		meter: meter,
+		arr:   cache.NewSetAssoc(chip.TotalBytes(), chip.NBanks(), repl),
+		name:  "S-NUCA-" + repl.String(),
+	}
+}
+
+// Name implements llc.LLC.
+func (s *SNUCA) Name() string { return s.name }
+
+func (s *SNUCA) bank(l trace.LLCAccess) int {
+	return int(stats.Hash64(uint64(l.Line)) % uint64(s.chip.NBanks()))
+}
+
+// Access implements llc.LLC.
+func (s *SNUCA) Access(core int, a trace.LLCAccess) (uint64, llc.Outcome) {
+	m := s.chip.Mesh
+	bank := s.bank(a)
+	if a.Writeback {
+		s.meter.AddHops(m.CoreBankHops(core, bank))
+		if s.arr.Writeback(a.Line) {
+			s.meter.AddTagProbe(1)
+		} else {
+			s.meter.AddTagProbe(1)
+			s.meter.AddDRAM(1)
+			s.meter.AddHops(m.BankMemHops(bank))
+			s.WritebacksMem++
+		}
+		return 0, llc.Miss
+	}
+	hops := m.CoreBankHops(core, bank)
+	lat := 2*noc.HopLatency(hops) + noc.BankLatency
+	s.meter.AddBank(1)
+	s.meter.AddHops(hops)
+	hit, ev, evicted := s.arr.Access(a.Line, a.Write)
+	if hit {
+		s.Hits++
+		return lat, llc.Hit
+	}
+	s.Misses++
+	memHops := m.BankMemHops(bank)
+	lat += noc.MemLatency + 2*noc.HopLatency(memHops)
+	s.meter.AddDRAM(1)
+	s.meter.AddHops(memHops)
+	if evicted && ev.Dirty {
+		s.meter.AddDRAM(1)
+		s.WritebacksMem++
+	}
+	return lat, llc.Miss
+}
+
+// Tick implements llc.LLC (S-NUCA has no runtime).
+func (s *SNUCA) Tick(uint64) {}
+
+var _ llc.LLC = (*SNUCA)(nil)

@@ -1,0 +1,284 @@
+// Package sim is the chip simulator: it replays per-core LLC traces
+// (produced by trace.FilterPrivate) against a pluggable LLC organization,
+// interleaving cores by their simulated cycle counts, accumulating timing,
+// data-movement energy, and per-pool statistics.
+package sim
+
+import (
+	"whirlpool/internal/addr"
+	"whirlpool/internal/energy"
+	"whirlpool/internal/llc"
+	"whirlpool/internal/mem"
+	"whirlpool/internal/trace"
+)
+
+// DefaultTickEvery is how often (in cycles) the LLC's runtime hook fires.
+const DefaultTickEvery = 100_000
+
+// Config describes one simulation run.
+type Config struct {
+	// LLC is the organization under test (constructed against Meter).
+	LLC llc.LLC
+	// Meter accumulates data-movement energy for the run.
+	Meter *energy.Meter
+	// Traces holds one filtered trace per core; nil entries are idle
+	// cores.
+	Traces []*trace.LLCTrace
+	// TickEvery is the LLC runtime hook period in cycles.
+	TickEvery uint64
+	// PoolOf optionally classifies lines for per-pool statistics.
+	PoolOf func(addr.Line) mem.PoolID
+	// NumPools sizes the per-pool counters when PoolOf is set.
+	NumPools int
+	// OnAccess, if set, observes every demand access (time-series
+	// figures). Keep it nil on hot paths.
+	OnAccess func(now uint64, core int, a trace.LLCAccess, lat uint64, out llc.Outcome)
+	// OnTick, if set, fires after every LLC Tick (allocation sampling).
+	OnTick func(now uint64)
+	// Loop keeps cores replaying their traces until every core has
+	// completed at least one pass (the fixed-work mix methodology);
+	// per-core stats freeze at first completion.
+	Loop bool
+	// Warmup replays each trace once, unmeasured, before the measured
+	// pass — the analogue of the paper's 20B-instruction fast-forward.
+	// Caches, monitors, and the reconfiguration runtime reach steady
+	// state; energy and timing counters then start from zero.
+	Warmup bool
+}
+
+// CoreResult summarizes one core's run.
+type CoreResult struct {
+	Instrs     uint64
+	Cycles     uint64
+	LLCStall   uint64
+	Demand     uint64
+	Hits       uint64
+	Misses     uint64
+	Bypasses   uint64
+	Writebacks uint64
+}
+
+// IPC returns instructions per cycle.
+func (c CoreResult) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instrs) / float64(c.Cycles)
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Scheme string
+	// Cycles is when the last core finished its (first) pass.
+	Cycles uint64
+	Cores  []CoreResult
+	Energy energy.Meter
+
+	Hits, Misses, Bypasses uint64
+	Demand                 uint64
+	Instrs                 uint64
+
+	// PoolAccesses/PoolMisses are per-pool demand counters (when PoolOf
+	// is configured).
+	PoolAccesses []uint64
+	PoolMisses   []uint64
+}
+
+// TotalAccessesAPKI returns demand LLC accesses per kilo-instruction.
+func (r *Result) TotalAccessesAPKI() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.Demand) / float64(r.Instrs) * 1000
+}
+
+// MPKI returns LLC misses (including bypasses) per kilo-instruction.
+func (r *Result) MPKI() float64 {
+	if r.Instrs == 0 {
+		return 0
+	}
+	return float64(r.Misses+r.Bypasses) / float64(r.Instrs) * 1000
+}
+
+// coreState tracks replay progress for one core.
+type coreState struct {
+	tr        *trace.LLCTrace
+	pos       int
+	cycles    uint64
+	warmStart uint64 // cycle count when measurement began
+	instrs    uint64
+	passes    int
+	finished  bool // stats frozen
+	res       CoreResult
+}
+
+// warmupPass replays every trace once without recording statistics,
+// bringing caches, monitors, and runtimes to steady state. It returns the
+// next Tick deadline.
+func warmupPass(cfg Config, cores []*coreState, nextTick uint64) uint64 {
+	remaining := 0
+	for _, c := range cores {
+		if c != nil {
+			remaining++
+		}
+	}
+	for remaining > 0 {
+		var cs *coreState
+		core := -1
+		for i, c := range cores {
+			if c == nil || c.finished {
+				continue
+			}
+			if cs == nil || c.cycles < cs.cycles {
+				cs, core = c, i
+			}
+		}
+		a := cs.tr.Accesses[cs.pos]
+		cs.pos++
+		if a.Writeback {
+			_, _ = cfg.LLC.Access(core, a)
+		} else {
+			cs.cycles += uint64(float64(a.Gap) * trace.BaseCPI)
+			lat, _ := cfg.LLC.Access(core, a)
+			cs.cycles += uint64(float64(lat) * trace.LLCStallFactor)
+		}
+		if cs.cycles >= nextTick {
+			cfg.LLC.Tick(cs.cycles)
+			nextTick += cfg.TickEvery
+		}
+		if cs.pos >= len(cs.tr.Accesses) {
+			cs.pos = 0
+			cs.finished = true
+			remaining--
+		}
+	}
+	return nextTick
+}
+
+// Run executes the simulation to completion and returns the result.
+func Run(cfg Config) *Result {
+	if cfg.TickEvery == 0 {
+		cfg.TickEvery = DefaultTickEvery
+	}
+	res := &Result{Scheme: cfg.LLC.Name()}
+	if cfg.PoolOf != nil {
+		res.PoolAccesses = make([]uint64, cfg.NumPools)
+		res.PoolMisses = make([]uint64, cfg.NumPools)
+	}
+	cores := make([]*coreState, len(cfg.Traces))
+	active := 0
+	for i, t := range cfg.Traces {
+		if t == nil || len(t.Accesses) == 0 {
+			continue
+		}
+		cores[i] = &coreState{tr: t}
+		active++
+	}
+	if active == 0 {
+		return res
+	}
+	var nextTick uint64 = cfg.TickEvery
+	if cfg.Warmup {
+		nextTick = warmupPass(cfg, cores, nextTick)
+		// Measurement starts warm: reset timing and energy, keep state.
+		for _, c := range cores {
+			if c != nil {
+				warmCycles := c.cycles
+				*c = coreState{tr: c.tr, cycles: warmCycles, warmStart: warmCycles}
+			}
+		}
+		cfg.Meter.Reset()
+	}
+	remaining := active
+	for remaining > 0 {
+		// Pick the lagging core (few cores; linear scan is fastest).
+		// Under fixed-work (Loop) finished cores keep running until every
+		// core completes its first pass; otherwise they stop.
+		var cs *coreState
+		core := -1
+		for i, c := range cores {
+			if c == nil || (c.finished && !cfg.Loop) {
+				continue
+			}
+			if cs == nil || c.cycles < cs.cycles {
+				cs, core = c, i
+			}
+		}
+		if cs == nil {
+			break
+		}
+		a := cs.tr.Accesses[cs.pos]
+		cs.pos++
+		if a.Writeback {
+			_, _ = cfg.LLC.Access(core, a)
+			if !cs.finished {
+				cs.res.Writebacks++
+			}
+		} else {
+			cs.cycles += uint64(float64(a.Gap) * trace.BaseCPI)
+			cs.instrs += uint64(a.Gap)
+			lat, out := cfg.LLC.Access(core, a)
+			lat = uint64(float64(lat) * trace.LLCStallFactor)
+			cs.cycles += lat
+			if !cs.finished {
+				cs.res.Demand++
+				cs.res.LLCStall += lat
+				switch out {
+				case llc.Hit:
+					cs.res.Hits++
+				case llc.Bypass:
+					cs.res.Bypasses++
+				default:
+					cs.res.Misses++
+				}
+				if cfg.PoolOf != nil {
+					p := int(cfg.PoolOf(a.Line))
+					if p >= 0 && p < len(res.PoolAccesses) {
+						res.PoolAccesses[p]++
+						if out != llc.Hit {
+							res.PoolMisses[p]++
+						}
+					}
+				}
+			}
+			if cfg.OnAccess != nil {
+				cfg.OnAccess(cs.cycles, core, a, lat, out)
+			}
+		}
+		if cs.cycles >= nextTick {
+			cfg.LLC.Tick(cs.cycles)
+			if cfg.OnTick != nil {
+				cfg.OnTick(cs.cycles)
+			}
+			nextTick += cfg.TickEvery
+		}
+		if cs.pos >= len(cs.tr.Accesses) {
+			cs.pos = 0
+			cs.passes++
+			if !cs.finished {
+				cs.finished = true
+				cs.res.Instrs = cs.instrs
+				cs.res.Cycles = cs.cycles - cs.warmStart + cs.tr.L2Hits*trace.L2HitStall
+				remaining--
+			}
+		}
+	}
+	// Gather totals from frozen per-core results.
+	for i := range cfg.Traces {
+		var cr CoreResult
+		if cores[i] != nil {
+			cr = cores[i].res
+		}
+		res.Cores = append(res.Cores, cr)
+		res.Hits += cr.Hits
+		res.Misses += cr.Misses
+		res.Bypasses += cr.Bypasses
+		res.Demand += cr.Demand
+		res.Instrs += cr.Instrs
+		if cr.Cycles > res.Cycles {
+			res.Cycles = cr.Cycles
+		}
+	}
+	res.Energy = *cfg.Meter
+	return res
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"testing"
+
+	"whirlpool/internal/addr"
+	"whirlpool/internal/energy"
+	"whirlpool/internal/llc"
+	"whirlpool/internal/mem"
+	"whirlpool/internal/trace"
+)
+
+// fakeLLC is a deterministic stub: hits every even line with fixed
+// latency, misses odd lines.
+type fakeLLC struct {
+	hitLat, missLat uint64
+	ticks           int
+	accesses        int
+}
+
+func (f *fakeLLC) Name() string { return "fake" }
+
+func (f *fakeLLC) Access(core int, a trace.LLCAccess) (uint64, llc.Outcome) {
+	f.accesses++
+	if a.Writeback {
+		return 0, llc.Miss
+	}
+	if a.Line%2 == 0 {
+		return f.hitLat, llc.Hit
+	}
+	return f.missLat, llc.Miss
+}
+
+func (f *fakeLLC) Tick(uint64) { f.ticks++ }
+
+func mkTrace(n int, gap uint32) *trace.LLCTrace {
+	t := &trace.LLCTrace{}
+	for i := 0; i < n; i++ {
+		t.Accesses = append(t.Accesses, trace.LLCAccess{Line: addr.Line(i), Gap: gap})
+		t.Instrs += uint64(gap)
+	}
+	return t
+}
+
+func TestRunCountsOutcomes(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 100}
+	r := Run(Config{
+		LLC:    f,
+		Meter:  &energy.Meter{},
+		Traces: []*trace.LLCTrace{mkTrace(1000, 10)},
+	})
+	if r.Hits != 500 || r.Misses != 500 {
+		t.Fatalf("hits=%d misses=%d", r.Hits, r.Misses)
+	}
+	if r.Demand != 1000 {
+		t.Fatalf("demand=%d", r.Demand)
+	}
+	if r.Instrs != 10000 {
+		t.Fatalf("instrs=%d", r.Instrs)
+	}
+}
+
+func TestRunCycleAccounting(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 100}
+	r := Run(Config{
+		LLC:    f,
+		Meter:  &energy.Meter{},
+		Traces: []*trace.LLCTrace{mkTrace(100, 10)},
+	})
+	// 100 accesses x 10 instrs x 0.5 CPI = 500 base cycles,
+	// + (50x10 + 50x100) x LLCStallFactor = 2750 stall cycles.
+	want := uint64(500) + uint64(float64(50*10+50*100)*trace.LLCStallFactor)
+	if r.Cycles != want {
+		t.Fatalf("cycles=%d want %d", r.Cycles, want)
+	}
+}
+
+func TestRunTickCadence(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 100}
+	Run(Config{
+		LLC:       f,
+		Meter:     &energy.Meter{},
+		Traces:    []*trace.LLCTrace{mkTrace(10000, 100)},
+		TickEvery: 10_000,
+	})
+	if f.ticks < 10 {
+		t.Fatalf("ticks=%d, want many", f.ticks)
+	}
+}
+
+func TestRunMultiCoreInterleaving(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 100}
+	r := Run(Config{
+		LLC:   f,
+		Meter: &energy.Meter{},
+		Traces: []*trace.LLCTrace{
+			mkTrace(500, 10),
+			mkTrace(500, 10),
+			nil, // idle core
+		},
+	})
+	if len(r.Cores) != 3 {
+		t.Fatalf("cores=%d", len(r.Cores))
+	}
+	if r.Cores[0].Demand != 500 || r.Cores[1].Demand != 500 {
+		t.Fatal("per-core demand wrong")
+	}
+	if r.Cores[2].Demand != 0 {
+		t.Fatal("idle core has accesses")
+	}
+}
+
+func TestRunLoopFixedWork(t *testing.T) {
+	// Core 1's trace is half as long: under Loop it must keep running
+	// until core 0 finishes, but its frozen stats cover one pass only.
+	f := &fakeLLC{hitLat: 10, missLat: 10}
+	r := Run(Config{
+		LLC:   f,
+		Meter: &energy.Meter{},
+		Traces: []*trace.LLCTrace{
+			mkTrace(1000, 10),
+			mkTrace(100, 10),
+		},
+		Loop: true,
+	})
+	if r.Cores[1].Demand != 100 {
+		t.Fatalf("core 1 frozen demand = %d, want 100", r.Cores[1].Demand)
+	}
+	// The LLC saw more than one pass of core 1's accesses.
+	if f.accesses <= 1100 {
+		t.Fatalf("LLC accesses = %d; looping did not happen", f.accesses)
+	}
+}
+
+func TestRunWarmupResetsCounters(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 100}
+	m := &energy.Meter{}
+	r := Run(Config{
+		LLC:    f,
+		Meter:  m,
+		Traces: []*trace.LLCTrace{mkTrace(200, 10)},
+		Warmup: true,
+	})
+	// The LLC processed two passes (warmup + measured)...
+	if f.accesses != 400 {
+		t.Fatalf("LLC saw %d accesses, want 400", f.accesses)
+	}
+	// ...but results cover exactly one.
+	if r.Demand != 200 {
+		t.Fatalf("demand=%d, want 200", r.Demand)
+	}
+	base := uint64(float64(200*10) * trace.BaseCPI)
+	stall := uint64(float64(100*10+100*100) * trace.LLCStallFactor)
+	if r.Cycles != base+stall {
+		t.Fatalf("cycles=%d want %d", r.Cycles, base+stall)
+	}
+}
+
+func TestRunWritebacksDoNotStall(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 100}
+	tr := &trace.LLCTrace{}
+	tr.Accesses = append(tr.Accesses,
+		trace.LLCAccess{Line: 2, Gap: 10},
+		trace.LLCAccess{Line: 4, Writeback: true},
+	)
+	tr.Instrs = 10
+	r := Run(Config{LLC: f, Meter: &energy.Meter{}, Traces: []*trace.LLCTrace{tr}})
+	if r.Cores[0].Writebacks != 1 {
+		t.Fatalf("writebacks=%d", r.Cores[0].Writebacks)
+	}
+	want := uint64(float64(10)*trace.BaseCPI) + uint64(float64(10)*trace.LLCStallFactor)
+	if r.Cycles != want {
+		t.Fatalf("cycles=%d want %d (writeback must not stall)", r.Cycles, want)
+	}
+}
+
+func TestRunPerPoolCounters(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 100}
+	r := Run(Config{
+		LLC:    f,
+		Meter:  &energy.Meter{},
+		Traces: []*trace.LLCTrace{mkTrace(100, 10)},
+		PoolOf: func(l addr.Line) mem.PoolID {
+			return mem.PoolID(uint64(l) % 2)
+		},
+		NumPools: 2,
+	})
+	if r.PoolAccesses[0] != 50 || r.PoolAccesses[1] != 50 {
+		t.Fatalf("pool accesses %v", r.PoolAccesses)
+	}
+	// Odd lines miss in fakeLLC.
+	if r.PoolMisses[1] != 50 || r.PoolMisses[0] != 0 {
+		t.Fatalf("pool misses %v", r.PoolMisses)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	f := &fakeLLC{}
+	r := Run(Config{LLC: f, Meter: &energy.Meter{}, Traces: []*trace.LLCTrace{nil}})
+	if r.Demand != 0 || r.Cycles != 0 {
+		t.Fatal("empty run should be empty")
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"testing"
+
+	"whirlpool/internal/addr"
+)
+
+func mkStream(accs []Access) Stream { return &SliceStream{Accs: accs} }
+
+func TestFilterTinyWorkingSetNeverReachesLLC(t *testing.T) {
+	// 16KB working set fits in L1: after the cold pass nothing reaches
+	// the LLC.
+	var accs []Access
+	lines := 16 * 1024 / 64
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < lines; i++ {
+			accs = append(accs, Access{Line: addr.Line(i), Gap: 10})
+		}
+	}
+	tr := FilterPrivate(mkStream(accs))
+	if tr.RawAccesses != uint64(len(accs)) {
+		t.Fatalf("raw = %d", tr.RawAccesses)
+	}
+	// Only cold misses (256 lines) reach the LLC.
+	if got := tr.DemandAccesses(); got != uint64(lines) {
+		t.Fatalf("LLC demand accesses = %d, want %d cold misses", got, lines)
+	}
+	if tr.L1Hits < uint64(9*lines) {
+		t.Fatalf("L1 hits = %d, want >= %d", tr.L1Hits, 9*lines)
+	}
+}
+
+func TestFilterL2WorkingSet(t *testing.T) {
+	// 96KB working set: misses L1 (32KB) but fits L2 (128KB).
+	var accs []Access
+	lines := 96 * 1024 / 64
+	for pass := 0; pass < 10; pass++ {
+		for i := 0; i < lines; i++ {
+			accs = append(accs, Access{Line: addr.Line(i), Gap: 10})
+		}
+	}
+	tr := FilterPrivate(mkStream(accs))
+	if got := tr.DemandAccesses(); got != uint64(lines) {
+		t.Fatalf("LLC demand = %d, want %d cold only", got, lines)
+	}
+	if tr.L2Hits == 0 {
+		t.Fatal("L2 should hit the loop")
+	}
+}
+
+func TestFilterStreamingReachesLLC(t *testing.T) {
+	// 4MB stream: every line misses both private levels.
+	var accs []Access
+	lines := 4 * 1024 * 1024 / 64
+	for i := 0; i < lines; i++ {
+		accs = append(accs, Access{Line: addr.Line(i), Gap: 5})
+	}
+	tr := FilterPrivate(mkStream(accs))
+	if got := tr.DemandAccesses(); got != uint64(lines) {
+		t.Fatalf("LLC demand = %d, want %d", got, lines)
+	}
+}
+
+func TestFilterEmitsWritebacks(t *testing.T) {
+	// Write a stream larger than L2: dirty evictions must appear.
+	var accs []Access
+	lines := 1024 * 1024 / 64
+	for i := 0; i < lines; i++ {
+		accs = append(accs, Access{Line: addr.Line(i), Write: true, Gap: 5})
+	}
+	tr := FilterPrivate(mkStream(accs))
+	wb := 0
+	for _, a := range tr.Accesses {
+		if a.Writeback {
+			wb++
+		}
+	}
+	if wb == 0 {
+		t.Fatal("no writebacks emitted")
+	}
+	if uint64(wb) > tr.RawAccesses {
+		t.Fatal("more writebacks than accesses")
+	}
+}
+
+func TestFilterGapAccounting(t *testing.T) {
+	var accs []Access
+	for i := 0; i < 1000; i++ {
+		accs = append(accs, Access{Line: addr.Line(i * 1000), Gap: 7})
+	}
+	tr := FilterPrivate(mkStream(accs))
+	if tr.Instrs != 7000 {
+		t.Fatalf("instrs = %d, want 7000", tr.Instrs)
+	}
+	// All accesses miss (huge strides): gaps must sum to total instrs.
+	var sum uint64
+	for _, a := range tr.Accesses {
+		sum += uint64(a.Gap)
+	}
+	if sum != 7000 {
+		t.Fatalf("gap sum = %d, want 7000", sum)
+	}
+}
+
+func TestFilterBaseCycles(t *testing.T) {
+	accs := []Access{{Line: 1, Gap: 1000}}
+	tr := FilterPrivate(mkStream(accs))
+	want := uint64(float64(1000) * BaseCPI)
+	if tr.BaseCycles != want {
+		t.Fatalf("BaseCycles = %d, want %d", tr.BaseCycles, want)
+	}
+}
+
+func TestLLCAPKI(t *testing.T) {
+	var accs []Access
+	for i := 0; i < 100; i++ {
+		accs = append(accs, Access{Line: addr.Line(i * 1000), Gap: 100})
+	}
+	tr := FilterPrivate(mkStream(accs))
+	apki := tr.LLCAPKI()
+	if apki < 9.9 || apki > 10.1 { // 100 accesses / 10000 instrs * 1000
+		t.Fatalf("APKI = %v, want ~10", apki)
+	}
+}
+
+func TestSliceStream(t *testing.T) {
+	s := mkStream([]Access{{Line: 1}, {Line: 2}})
+	a, ok := s.Next()
+	if !ok || a.Line != 1 {
+		t.Fatal("first access wrong")
+	}
+	s.Next()
+	if _, ok := s.Next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+}

@@ -1,0 +1,38 @@
+package whirltool
+
+import "whirlpool/internal/mem"
+
+// Runtime is WhirlTool's allocator shim: it maps each allocation callpoint
+// to its assigned pool. Allocations from unprofiled callpoints fall into
+// the default (thread-private) pool, as in Sec 4.3.
+type Runtime struct {
+	poolOf map[mem.Callpoint]mem.PoolID
+}
+
+// NewRuntime builds the callpoint-to-pool map from the analyzer's pools:
+// pool i+1 holds the i-th cluster (pool 0 is the default pool).
+func NewRuntime(pools [][]mem.Callpoint) *Runtime {
+	r := &Runtime{poolOf: make(map[mem.Callpoint]mem.PoolID)}
+	for i, group := range pools {
+		for _, cp := range group {
+			r.poolOf[cp] = mem.PoolID(i + 1)
+		}
+	}
+	return r
+}
+
+// PoolOf returns the pool for an allocation callpoint.
+func (r *Runtime) PoolOf(cp mem.Callpoint) mem.PoolID {
+	return r.poolOf[cp] // zero value = DefaultPool for unprofiled sites
+}
+
+// NumPools returns the number of assigned pools (excluding default).
+func (r *Runtime) NumPools() int {
+	max := mem.PoolID(0)
+	for _, p := range r.poolOf {
+		if p > max {
+			max = p
+		}
+	}
+	return int(max)
+}

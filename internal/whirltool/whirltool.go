@@ -1,0 +1,287 @@
+// Package whirltool implements WhirlTool (Sec 4), the profile-guided tool
+// that discovers memory pools in unmodified programs:
+//
+//   - The profiler identifies allocations by callpoint and samples each
+//     callpoint's stack-distance distribution at regular intervals.
+//   - The analyzer clusters callpoints into pools with a distance metric
+//     based on miss-rate curves: the extra misses incurred by combining
+//     two pools (Appendix B flow model) versus partitioning capacity
+//     between them.
+//   - The runtime maps each allocation to its assigned pool.
+//
+// The paper implements the profiler as a Pintool; here it interposes on
+// the simulated allocator's callpoint tags (see DESIGN.md).
+package whirltool
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"whirlpool/internal/addr"
+	"whirlpool/internal/mem"
+	"whirlpool/internal/mrc"
+)
+
+// Profiler collects per-callpoint, per-interval miss-rate curves from a
+// raw access stream.
+type Profiler struct {
+	cpOf func(addr.Line) mem.Callpoint
+
+	gran        uint64
+	buckets     int
+	sampleShift uint
+	interval    uint64 // accesses per profiling interval
+
+	profs  map[mem.Callpoint]*mrc.Profiler
+	curves map[mem.Callpoint][]mrc.Curve
+	seen   uint64
+	closed int // intervals closed so far
+}
+
+// ProfilerConfig tunes the profiler. Zero values get defaults.
+type ProfilerConfig struct {
+	// Gran is the curve bucket size in lines (default 4096 = 1/2 bank).
+	Gran uint64
+	// Buckets is the curve length (default 120, covering ~30MB).
+	Buckets int
+	// SampleShift hash-samples 1-in-2^shift lines (default 3).
+	SampleShift uint
+	// IntervalAccesses closes a profiling interval every N accesses
+	// (the paper samples every 50M instructions; default 250k accesses).
+	IntervalAccesses uint64
+}
+
+// NewProfiler creates a profiler; cpOf resolves a line to its allocation
+// callpoint (the simulated allocator's tag lookup).
+func NewProfiler(cpOf func(addr.Line) mem.Callpoint, cfg ProfilerConfig) *Profiler {
+	if cfg.Gran == 0 {
+		cfg.Gran = 4096
+	}
+	if cfg.Buckets == 0 {
+		cfg.Buckets = 120
+	}
+	if cfg.SampleShift == 0 {
+		cfg.SampleShift = 3
+	}
+	if cfg.IntervalAccesses == 0 {
+		cfg.IntervalAccesses = 250_000
+	}
+	return &Profiler{
+		cpOf:        cpOf,
+		gran:        cfg.Gran,
+		buckets:     cfg.Buckets,
+		sampleShift: cfg.SampleShift,
+		interval:    cfg.IntervalAccesses,
+		profs:       make(map[mem.Callpoint]*mrc.Profiler),
+		curves:      make(map[mem.Callpoint][]mrc.Curve),
+	}
+}
+
+// Access feeds one memory reference to the profiler.
+func (p *Profiler) Access(l addr.Line) {
+	cp := p.cpOf(l)
+	prof, ok := p.profs[cp]
+	if !ok {
+		prof = mrc.NewProfiler(p.gran, p.buckets, p.sampleShift)
+		p.profs[cp] = prof
+	}
+	prof.Access(l)
+	p.seen++
+	if p.seen%p.interval == 0 {
+		p.closeInterval()
+	}
+}
+
+func (p *Profiler) closeInterval() {
+	for cp, prof := range p.profs {
+		c := prof.Curve()
+		// Pad earlier intervals where this callpoint was absent.
+		for len(p.curves[cp]) < p.closed {
+			p.curves[cp] = append(p.curves[cp], mrc.NewCurve(p.buckets, p.gran, 0))
+		}
+		p.curves[cp] = append(p.curves[cp], c)
+		prof.Reset()
+	}
+	p.closed++
+}
+
+// Profile is the profiler's output: per-callpoint, per-interval curves.
+type Profile struct {
+	Callpoints []mem.Callpoint
+	Intervals  int
+	Curves     map[mem.Callpoint][]mrc.Curve
+}
+
+// Finish closes the trailing interval and returns the profile.
+func (p *Profiler) Finish() *Profile {
+	if p.seen%p.interval != 0 {
+		p.closeInterval()
+	}
+	out := &Profile{
+		Intervals: p.closed,
+		Curves:    make(map[mem.Callpoint][]mrc.Curve),
+	}
+	for cp := range p.profs {
+		cs := p.curves[cp]
+		for len(cs) < p.closed {
+			cs = append(cs, mrc.NewCurve(p.buckets, p.gran, 0))
+		}
+		out.Curves[cp] = cs
+		out.Callpoints = append(out.Callpoints, cp)
+	}
+	sort.Slice(out.Callpoints, func(i, j int) bool {
+		return out.Callpoints[i] < out.Callpoints[j]
+	})
+	return out
+}
+
+// Merge records one agglomerative clustering step.
+type Merge struct {
+	A, B     []mem.Callpoint // members of the two merged clusters
+	Distance float64
+}
+
+// Dendrogram is the full clustering hierarchy (Fig 17).
+type Dendrogram struct {
+	Leaves []mem.Callpoint
+	Merges []Merge // in merge order (closest first)
+}
+
+// cluster is the analyzer's working state for one pool-in-progress.
+type cluster struct {
+	members []mem.Callpoint
+	curves  []mrc.Curve // one per interval
+}
+
+// Analyze performs agglomerative clustering over the profiled callpoints.
+// Distance between clusters is the summed per-interval area between their
+// combined (Appendix B) and partitioned curves, so pools active in
+// disjoint phases cluster cheaply (Sec 4.2).
+func Analyze(p *Profile) *Dendrogram {
+	d := &Dendrogram{Leaves: append([]mem.Callpoint(nil), p.Callpoints...)}
+	clusters := make([]*cluster, 0, len(p.Callpoints))
+	for _, cp := range p.Callpoints {
+		clusters = append(clusters, &cluster{
+			members: []mem.Callpoint{cp},
+			curves:  p.Curves[cp],
+		})
+	}
+	dist := func(a, b *cluster) float64 {
+		sum := 0.0
+		for i := 0; i < p.Intervals; i++ {
+			sum += mrc.Distance(a.curves[i], b.curves[i])
+		}
+		return sum
+	}
+	for len(clusters) > 1 {
+		bi, bj, best := -1, -1, 0.0
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				dv := dist(clusters[i], clusters[j])
+				if bi < 0 || dv < best {
+					bi, bj, best = i, j, dv
+				}
+			}
+		}
+		a, b := clusters[bi], clusters[bj]
+		d.Merges = append(d.Merges, Merge{
+			A:        append([]mem.Callpoint(nil), a.members...),
+			B:        append([]mem.Callpoint(nil), b.members...),
+			Distance: best,
+		})
+		merged := &cluster{members: append(append([]mem.Callpoint(nil), a.members...), b.members...)}
+		merged.curves = make([]mrc.Curve, p.Intervals)
+		for i := 0; i < p.Intervals; i++ {
+			c := mrc.Combine(a.curves[i], b.curves[i])
+			// Normalize back to the standard geometry so further
+			// distance computations stay aligned (the combined domain
+			// beyond the profiling window carries no extra signal).
+			merged.curves[i] = normalizeCurve(c, a.curves[i].Gran, a.curves[i].Buckets())
+		}
+		sort.Slice(merged.members, func(x, y int) bool { return merged.members[x] < merged.members[y] })
+		clusters[bi] = merged
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	return d
+}
+
+// normalizeCurve rebuckets c to the given granularity and bucket count,
+// clamping the tail (capacities beyond the profiling window are flat).
+func normalizeCurve(c mrc.Curve, gran uint64, buckets int) mrc.Curve {
+	out := mrc.Curve{Gran: gran, M: make([]float64, buckets+1), Accesses: c.Accesses}
+	for i := 0; i <= buckets; i++ {
+		out.M[i] = c.At(uint64(i) * gran)
+	}
+	return out
+}
+
+// Pools cuts the dendrogram into k pools: undo the last k-1 merges.
+// Callpoints are grouped by connected components of the earlier merges.
+func (d *Dendrogram) Pools(k int) [][]mem.Callpoint {
+	n := len(d.Leaves)
+	if k >= n {
+		out := make([][]mem.Callpoint, n)
+		for i, cp := range d.Leaves {
+			out[i] = []mem.Callpoint{cp}
+		}
+		return out
+	}
+	if k < 1 {
+		k = 1
+	}
+	// Union-find over the first n-k merges.
+	parent := make(map[mem.Callpoint]mem.Callpoint, n)
+	var find func(x mem.Callpoint) mem.Callpoint
+	find = func(x mem.Callpoint) mem.Callpoint {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, cp := range d.Leaves {
+		parent[cp] = cp
+	}
+	for _, m := range d.Merges[:n-k] {
+		ra, rb := find(m.A[0]), find(m.B[0])
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	groups := make(map[mem.Callpoint][]mem.Callpoint)
+	for _, cp := range d.Leaves {
+		r := find(cp)
+		groups[r] = append(groups[r], cp)
+	}
+	roots := make([]mem.Callpoint, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return groups[roots[i]][0] < groups[roots[j]][0] })
+	out := make([][]mem.Callpoint, 0, k)
+	for _, r := range roots {
+		g := groups[r]
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+		out = append(out, g)
+	}
+	return out
+}
+
+// Render prints the dendrogram as indented merge steps (the textual Fig
+// 17), with names resolved through nameOf.
+func (d *Dendrogram) Render(nameOf func(mem.Callpoint) string) string {
+	var b strings.Builder
+	for i, m := range d.Merges {
+		fmt.Fprintf(&b, "merge %2d  dist=%-12.4g  {%s} + {%s}\n",
+			i+1, m.Distance, joinNames(m.A, nameOf), joinNames(m.B, nameOf))
+	}
+	return b.String()
+}
+
+func joinNames(cps []mem.Callpoint, nameOf func(mem.Callpoint) string) string {
+	names := make([]string, len(cps))
+	for i, cp := range cps {
+		names[i] = nameOf(cp)
+	}
+	return strings.Join(names, ",")
+}

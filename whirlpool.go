@@ -1,0 +1,254 @@
+// Package whirlpool is a library reproduction of "Whirlpool: Improving
+// Dynamic Cache Management with Static Data Classification" (Mukkara,
+// Beckmann & Sanchez, ASPLOS 2016).
+//
+// It provides:
+//
+//   - A pool-based memory allocator over a simulated address space
+//     (Allocator), the paper's pool_create / pool_malloc API.
+//   - A NUCA multicore simulator with six last-level cache organizations:
+//     S-NUCA (LRU and DRRIP), IdealSPD, Awasthi et al., Jigsaw, and
+//     Whirlpool itself.
+//   - WhirlTool, the profile-guided automatic data classifier.
+//   - PaWS, partitioned work-stealing for task-parallel workloads.
+//   - The paper's benchmark suite as synthetic workloads, and runners
+//     that regenerate every table and figure in the evaluation.
+//
+// Quick start:
+//
+//	rep, _ := whirlpool.Run("delaunay", whirlpool.Whirlpool, nil)
+//	base, _ := whirlpool.Run("delaunay", whirlpool.Jigsaw, nil)
+//	fmt.Printf("speedup: %.1f%%\n", 100*(base.Cycles/rep.Cycles-1))
+package whirlpool
+
+import (
+	"fmt"
+	"sync"
+
+	"whirlpool/internal/experiments"
+	"whirlpool/internal/paws"
+	"whirlpool/internal/schemes"
+	"whirlpool/internal/sim"
+	"whirlpool/internal/workloads"
+)
+
+// Scheme names a last-level cache organization.
+type Scheme string
+
+// The six evaluated schemes.
+const (
+	SNUCALRU   Scheme = "snuca-lru"
+	SNUCADRRIP Scheme = "snuca-drrip"
+	IdealSPD   Scheme = "idealspd"
+	Awasthi    Scheme = "awasthi"
+	Jigsaw     Scheme = "jigsaw"
+	Whirlpool  Scheme = "whirlpool"
+)
+
+// Schemes lists all schemes in the paper's presentation order.
+func Schemes() []Scheme {
+	return []Scheme{SNUCALRU, SNUCADRRIP, IdealSPD, Awasthi, Jigsaw, Whirlpool}
+}
+
+func (s Scheme) kind() (schemes.Kind, error) {
+	switch s {
+	case SNUCALRU:
+		return schemes.KindSNUCALRU, nil
+	case SNUCADRRIP:
+		return schemes.KindSNUCADRRIP, nil
+	case IdealSPD:
+		return schemes.KindIdealSPD, nil
+	case Awasthi:
+		return schemes.KindAwasthi, nil
+	case Jigsaw:
+		return schemes.KindJigsaw, nil
+	case Whirlpool:
+		return schemes.KindWhirlpool, nil
+	}
+	return 0, fmt.Errorf("whirlpool: unknown scheme %q", s)
+}
+
+// Options tune a run. The zero value (or nil) uses the defaults the
+// experiments use.
+type Options struct {
+	// Scale multiplies workload length (default 1.0).
+	Scale float64
+	// Pools overrides data classification with explicit groups of
+	// structure indices. Nil uses the app's manual classification
+	// (Table 2), or one pool if the app was never ported.
+	Pools [][]int
+	// AutoClassify runs WhirlTool (k pools) instead of manual pools.
+	AutoClassify int
+	// DisableBypass turns off VC bypassing (ablation).
+	DisableBypass bool
+}
+
+// Report summarizes one simulation run.
+type Report struct {
+	App    string
+	Scheme Scheme
+	// Cycles to complete the measured pass; IPC = Instrs/Cycles.
+	Cycles float64
+	Instrs float64
+	IPC    float64
+	// Data-movement energy in picojoules, by component.
+	EnergyPJ        float64
+	NetworkEnergyPJ float64
+	BankEnergyPJ    float64
+	MemoryEnergyPJ  float64
+	// LLC behaviour.
+	LLCAccesses uint64
+	Hits        uint64
+	Misses      uint64
+	Bypasses    uint64
+	APKI        float64
+	MPKI        float64
+}
+
+func report(app string, s Scheme, r *sim.Result) Report {
+	return Report{
+		App:             app,
+		Scheme:          s,
+		Cycles:          float64(r.Cycles),
+		Instrs:          float64(r.Instrs),
+		IPC:             float64(r.Instrs) / float64(r.Cycles),
+		EnergyPJ:        r.Energy.Total(),
+		NetworkEnergyPJ: r.Energy.NetworkPJ,
+		BankEnergyPJ:    r.Energy.BankPJ,
+		MemoryEnergyPJ:  r.Energy.MemoryPJ,
+		LLCAccesses:     r.Demand,
+		Hits:            r.Hits,
+		Misses:          r.Misses,
+		Bypasses:        r.Bypasses,
+		APKI:            r.TotalAccessesAPKI(),
+		MPKI:            r.MPKI(),
+	}
+}
+
+// harnesses are cached per scale so repeated Run calls share traces.
+var (
+	harnessMu sync.Mutex
+	harnesses = map[float64]*experiments.Harness{}
+)
+
+func harnessFor(scale float64) *experiments.Harness {
+	if scale == 0 {
+		scale = 1.0
+	}
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	h, ok := harnesses[scale]
+	if !ok {
+		h = experiments.NewHarness(scale)
+		harnesses[scale] = h
+	}
+	return h
+}
+
+// Apps lists the single-threaded benchmark suite (15 SPEC-like + 16
+// PBBS-like apps).
+func Apps() []string { return workloads.Names() }
+
+// ParallelApps lists the task-parallel suite (Fig 13).
+func ParallelApps() []string {
+	var out []string
+	for _, s := range paws.Specs() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Run simulates one app under one scheme on the 4-core chip and returns
+// its report. opt may be nil.
+func Run(app string, scheme Scheme, opt *Options) (Report, error) {
+	k, err := scheme.kind()
+	if err != nil {
+		return Report{}, err
+	}
+	if _, ok := workloads.ByName(app); !ok {
+		return Report{}, fmt.Errorf("whirlpool: unknown app %q (see Apps())", app)
+	}
+	o := Options{}
+	if opt != nil {
+		o = *opt
+	}
+	h := harnessFor(o.Scale)
+	ro := experiments.RunOptions{Grouping: o.Pools, NoBypass: o.DisableBypass}
+	if o.AutoClassify > 0 && scheme == Whirlpool {
+		ro.Grouping = h.WhirlToolGrouping(app, o.AutoClassify, true)
+	}
+	r := h.RunSingle(app, k, ro)
+	return report(app, scheme, r), nil
+}
+
+// Compare runs an app under every scheme.
+func Compare(app string, opt *Options) (map[Scheme]Report, error) {
+	out := make(map[Scheme]Report, 6)
+	for _, s := range Schemes() {
+		r, err := Run(app, s, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[s] = r
+	}
+	return out, nil
+}
+
+// AutoClassify runs WhirlTool on an app and returns the discovered pools
+// as groups of data-structure names.
+func AutoClassify(app string, pools int, opt *Options) ([][]string, error) {
+	spec, ok := workloads.ByName(app)
+	if !ok {
+		return nil, fmt.Errorf("whirlpool: unknown app %q", app)
+	}
+	o := Options{}
+	if opt != nil {
+		o = *opt
+	}
+	h := harnessFor(o.Scale)
+	groups := h.WhirlToolGrouping(app, pools, true)
+	out := make([][]string, len(groups))
+	for i, g := range groups {
+		for _, si := range g {
+			if si >= 0 && si < len(spec.Structs) {
+				out[i] = append(out[i], spec.Structs[si].Name)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ParallelVariant names a Fig 13 configuration.
+type ParallelVariant string
+
+// Fig 13's four configurations.
+const (
+	ParSNUCA         ParallelVariant = "snuca"
+	ParJigsaw        ParallelVariant = "jigsaw"
+	ParJigsawPaWS    ParallelVariant = "jigsaw+paws"
+	ParWhirlpoolPaWS ParallelVariant = "whirlpool+paws"
+)
+
+// RunParallel simulates a task-parallel app on the 16-core chip.
+func RunParallel(app string, variant ParallelVariant, opt *Options) (Report, error) {
+	var v experiments.ParallelVariant
+	switch variant {
+	case ParSNUCA:
+		v = experiments.VariantSNUCA
+	case ParJigsaw:
+		v = experiments.VariantJigsaw
+	case ParJigsawPaWS:
+		v = experiments.VariantJigsawPaWS
+	case ParWhirlpoolPaWS:
+		v = experiments.VariantWhirlpoolPaWS
+	default:
+		return Report{}, fmt.Errorf("whirlpool: unknown variant %q", variant)
+	}
+	o := Options{}
+	if opt != nil {
+		o = *opt
+	}
+	h := harnessFor(o.Scale)
+	r := h.RunParallel(app, v)
+	return report(app, Scheme(string(variant)), r), nil
+}
