@@ -1,0 +1,47 @@
+# Local dev and CI invoke the exact same commands: .github/workflows/ci.yml
+# runs `make ci`. Keep the two in sync by editing only this file.
+
+GO ?= go
+
+.PHONY: build test vet fmt fmt-check bench smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash, without benchmarking anything for real.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# End-to-end CLI smoke: the spec engine, the sweep runner, and the
+# error paths CI asserts on (bad flags must exit non-zero).
+smoke:
+	$(GO) run ./cmd/whirlsim -app delaunay -scheme whirlpool -scale 0.05
+	$(GO) run ./cmd/whirlsim -spec specs/phase-shift.json -app phaser -scheme whirlpool -scale 0.05
+	$(GO) run ./cmd/whirlsim -spec specs/phase-shift.json -app phaser -scheme jigsaw -scale 0.05
+	$(GO) run ./cmd/whirlsim -spec specs/multitenant-kv.json -list | grep -q 'kv-hot (spec file)'
+	$(GO) run ./cmd/whirlsweep -apps delaunay,MIS,mcf -scale 0.05 -format csv -q | grep -q '^delaunay,whirlpool,'
+	$(GO) run ./cmd/whirlsweep -spec specs/streaming-mix.json -mix stream-vs-rank -schemes snuca-lru,whirlpool -scale 0.05 -q
+	$(GO) run ./cmd/whirlsweep -dump-builtin | diff -q - specs/builtin.json
+	! $(GO) run ./cmd/whirlsim -scheme bogus -scale 0.05 2>/dev/null
+	! $(GO) run ./cmd/whirlsim -spec no-such-file.json 2>/dev/null
+	! $(GO) run ./cmd/whirlsim -app nosuchapp -scale 0.05 2>/dev/null
+	! $(GO) run ./cmd/whirlsweep -apps nosuchapp -q 2>/dev/null
+	@echo "smoke OK"
+
+ci: build vet fmt-check test bench smoke

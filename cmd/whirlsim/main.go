@@ -4,9 +4,10 @@
 //
 // Usage:
 //
-//	whirlsim -app delaunay                 # all six schemes
-//	whirlsim -app MIS -scheme whirlpool    # one scheme
-//	whirlsim -list                         # show available apps
+//	whirlsim -app delaunay                         # all six schemes
+//	whirlsim -app MIS -scheme whirlpool            # one scheme
+//	whirlsim -spec specs/phase-shift.json -app phaser
+//	whirlsim -list                                 # show available apps
 package main
 
 import (
@@ -16,20 +17,44 @@ import (
 	"text/tabwriter"
 
 	"whirlpool"
+	"whirlpool/internal/cliutil"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "whirlsim:", err)
+	os.Exit(1)
+}
 
 func main() {
 	app := flag.String("app", "delaunay", "benchmark to run (see -list)")
 	scheme := flag.String("scheme", "", "scheme to run (default: all six)")
+	specFiles := flag.String("spec", "", "comma-separated workload-spec files to load (see docs/workload-specs.md)")
 	scale := flag.Float64("scale", 1.0, "workload length multiplier")
 	pools := flag.Int("auto", 0, "classify with WhirlTool into N pools (whirlpool scheme)")
 	list := flag.Bool("list", false, "list available apps and exit")
 	flag.Parse()
 
+	for _, path := range cliutil.SplitList(*specFiles) {
+		info, err := whirlpool.LoadSpecFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "whirlsim: loaded %s: %d app(s), %d mix(es)\n",
+			info.Name, len(info.Apps), len(info.Mixes))
+	}
+
 	if *list {
+		specApps := map[string]bool{}
+		for _, a := range whirlpool.SpecApps() {
+			specApps[a] = true
+		}
 		fmt.Println("single-threaded apps:")
 		for _, a := range whirlpool.Apps() {
-			fmt.Println("  ", a)
+			if specApps[a] {
+				fmt.Println("  ", a, "(spec file)")
+			} else {
+				fmt.Println("  ", a)
+			}
 		}
 		fmt.Println("parallel apps (use whirlbench -fig fig13):")
 		for _, a := range whirlpool.ParallelApps() {
@@ -51,8 +76,7 @@ func main() {
 	for _, s := range schemes {
 		r, err := whirlpool.Run(*app, s, opt)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "whirlsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		d := float64(r.LLCAccesses)
 		fmt.Fprintf(w, "%s\t%.2f\t%.3f\t%.1f\t%.2f\t%.1f\t%.1f\t%.3f\t%.3f\t%.3f\t%.3f\n",

@@ -1,0 +1,198 @@
+// Command whirlsweep fans an app × scheme grid out across a worker pool
+// and emits machine-readable results. Apps come from the built-in suite
+// and/or declarative spec files; each app's trace is generated and
+// private-filtered once, then shared by every scheme's run, so a full
+// sweep costs far less than the equivalent serial whirlsim invocations.
+//
+// Usage:
+//
+//	whirlsweep -apps delaunay,MIS,mcf                    # 3 apps × 6 schemes
+//	whirlsweep -apps all -schemes jigsaw,whirlpool -format csv -o out.csv
+//	whirlsweep -spec specs/multitenant-kv.json -mix all  # sweep the file's mixes
+//	whirlsweep -dump-builtin > specs/builtin.json        # export the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"slices"
+	"strings"
+	"time"
+
+	"whirlpool/internal/cliutil"
+	"whirlpool/internal/experiments"
+	"whirlpool/internal/schemes"
+	"whirlpool/internal/spec"
+	"whirlpool/internal/workloads"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "whirlsweep:", err)
+	os.Exit(1)
+}
+
+func main() {
+	appsFlag := flag.String("apps", "", "comma-separated apps, or 'all' (default: apps from -spec files, else all)")
+	schemesFlag := flag.String("schemes", "all", "comma-separated schemes, or 'all' (valid: "+strings.Join(schemes.KindIDs(), ", ")+")")
+	specFiles := flag.String("spec", "", "comma-separated workload-spec files to load")
+	mixFlag := flag.String("mix", "", "comma-separated mix names from -spec files, or 'all'")
+	scale := flag.Float64("scale", 1.0, "workload length multiplier")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
+	format := flag.String("format", "table", "output format: table, csv, or json")
+	out := flag.String("o", "", "write results to this file (default: stdout)")
+	noBypass := flag.Bool("nobypass", false, "disable VC bypassing in every run (ablation)")
+	quiet := flag.Bool("q", false, "suppress progress output on stderr")
+	dumpBuiltin := flag.Bool("dump-builtin", false, "print the built-in suite as a spec file and exit")
+	flag.Parse()
+
+	if *dumpBuiltin {
+		data, err := spec.Encode(spec.Builtin())
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+
+	// Load spec files; their apps register into the workload registry
+	// and their mixes become sweepable by name.
+	var files []*spec.File
+	var specAppNames []string
+	for _, path := range cliutil.SplitList(*specFiles) {
+		f, err := spec.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		names, err := f.Register()
+		if err != nil {
+			fatal(err)
+		}
+		specAppNames = append(specAppNames, names...)
+		files = append(files, f)
+	}
+
+	cfg := experiments.SweepConfig{Workers: *workers, NoBypass: *noBypass}
+
+	switch {
+	case *appsFlag == "all":
+		cfg.Apps = workloads.Names()
+	case *appsFlag != "":
+		cfg.Apps = cliutil.SplitList(*appsFlag)
+	case *mixFlag != "":
+		// -mix without -apps sweeps only the mixes.
+	case len(specAppNames) > 0:
+		cfg.Apps = specAppNames
+	default:
+		cfg.Apps = workloads.Names()
+	}
+
+	if *mixFlag != "" {
+		if len(files) == 0 {
+			fatal(fmt.Errorf("-mix needs -spec files that define mixes"))
+		}
+		want := cliutil.SplitList(*mixFlag)
+		all := *mixFlag == "all"
+		found := map[string]bool{}
+		for _, f := range files {
+			for _, m := range f.Mixes {
+				if all || slices.Contains(want, m.Name) {
+					if found[m.Name] {
+						fatal(fmt.Errorf("mix %q defined in more than one -spec file; rows would be ambiguous", m.Name))
+					}
+					cfg.Mixes = append(cfg.Mixes, experiments.SweepMix{Name: m.Name, Apps: m.Apps})
+					found[m.Name] = true
+				}
+			}
+		}
+		if !all {
+			for _, name := range want {
+				if !found[name] {
+					fatal(fmt.Errorf("mix %q not defined in the loaded spec files", name))
+				}
+			}
+		} else if len(cfg.Mixes) == 0 {
+			fatal(fmt.Errorf("-mix all: the loaded spec files define no mixes"))
+		}
+	}
+
+	if *schemesFlag != "all" && *schemesFlag != "" {
+		for _, name := range cliutil.SplitList(*schemesFlag) {
+			k, err := schemes.ParseKind(name)
+			if err != nil {
+				fatal(err)
+			}
+			cfg.Kinds = append(cfg.Kinds, k)
+		}
+	}
+
+	switch *format {
+	case "table", "csv", "json":
+	default:
+		fatal(fmt.Errorf("unknown format %q (valid: table, csv, json)", *format))
+	}
+
+	if !*quiet {
+		cfg.OnRow = func(done, total int, row experiments.SweepRow) {
+			status := fmt.Sprintf("%.1fms", row.WallMS)
+			if row.Err != "" {
+				status = "ERROR: " + row.Err
+			}
+			fmt.Fprintf(os.Stderr, "whirlsweep: [%d/%d] %s/%s %s\n", done, total, row.App, row.Scheme, status)
+		}
+	}
+
+	h := experiments.NewHarness(*scale)
+	start := time.Now()
+	rows, err := h.Sweep(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "whirlsweep: %d cells in %.1fs with %d workers\n",
+			len(rows), time.Since(start).Seconds(), *workers)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	// *format was validated before the sweep ran.
+	switch *format {
+	case "table":
+		err = experiments.WriteRowsTable(w, rows)
+	case "csv":
+		err = experiments.WriteRowsCSV(w, rows)
+	case "json":
+		err = experiments.WriteRowsJSON(w, rows)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	// A sweep that ran but produced failed cells should not look green
+	// to CI pipelines consuming the output.
+	for _, r := range rows {
+		if r.Err != "" {
+			fatal(fmt.Errorf("%d of %d cells failed (first: %s/%s: %s)",
+				countErrs(rows), len(rows), r.App, r.Scheme, r.Err))
+		}
+	}
+}
+
+func countErrs(rows []experiments.SweepRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.Err != "" {
+			n++
+		}
+	}
+	return n
+}

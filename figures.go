@@ -41,9 +41,11 @@ func Figure(id string, opt *FigureOptions) (string, error) {
 	if o.Mixes == 0 {
 		o.Mixes = 20
 	}
+	// Default to the built-in suite only: loaded spec files must not
+	// silently change which apps a paper figure averages over.
 	apps := o.Apps
 	if apps == nil {
-		apps = workloads.Names()
+		apps = workloads.BuiltinNames()
 	}
 	h := harnessFor(o.Scale)
 	switch id {

@@ -1,0 +1,3 @@
+module whirlpool
+
+go 1.24

@@ -1,0 +1,17 @@
+// Package cliutil holds tiny flag-parsing helpers shared by the cmd/
+// binaries.
+package cliutil
+
+import "strings"
+
+// SplitList splits a comma-separated flag value, trimming whitespace
+// and dropping empty entries.
+func SplitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -7,6 +7,7 @@ package experiments
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"whirlpool/internal/addr"
 	"whirlpool/internal/energy"
@@ -26,7 +27,9 @@ const DefaultReconfigCycles = 2_000_000
 
 // Harness caches built workloads and filtered traces so each app is
 // generated and private-filtered once per process, then replayed against
-// every scheme.
+// every scheme. The cache is a per-app once: concurrent callers (the
+// sweep worker pool) build distinct apps in parallel, but each app's
+// expensive trace.FilterPrivate pass runs exactly once.
 type Harness struct {
 	// Scale multiplies every app's access count (1.0 = full runs).
 	Scale float64
@@ -35,8 +38,14 @@ type Harness struct {
 	// Seed drives all workload generation.
 	Seed uint64
 
-	mu    sync.Mutex
-	cache map[string]*AppTrace
+	mu     sync.Mutex
+	cache  map[string]*appEntry
+	builds atomic.Int64
+}
+
+type appEntry struct {
+	once sync.Once
+	at   *AppTrace
 }
 
 // AppTrace is a built app plus its LLC-level trace.
@@ -51,27 +60,49 @@ func NewHarness(scale float64) *Harness {
 		Scale:          scale,
 		ReconfigCycles: DefaultReconfigCycles,
 		Seed:           0xC0FFEE,
-		cache:          make(map[string]*AppTrace),
+		cache:          make(map[string]*appEntry),
 	}
 }
 
-// App returns the cached trace for an app, building it on first use.
-func (h *Harness) App(name string) *AppTrace {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if at, ok := h.cache[name]; ok {
-		return at
-	}
+// AppErr returns the cached trace for an app, building it on first use.
+// Unknown names (not built-in and not registered) return an error
+// without consuming the entry, so an app registered later still builds.
+// The spec is resolved at first build and the trace cached for the
+// harness's lifetime: register spec files before running (the CLIs do).
+func (h *Harness) AppErr(name string) (*AppTrace, error) {
 	spec, ok := workloads.ByName(name)
 	if !ok {
-		panic(fmt.Sprintf("experiments: unknown app %q", name))
+		return nil, fmt.Errorf("experiments: unknown app %q", name)
 	}
-	w := workloads.Build(spec, h.Scale)
-	tr := trace.FilterPrivate(w.Stream(h.Seed))
-	at := &AppTrace{W: w, Tr: tr}
-	h.cache[name] = at
+	h.mu.Lock()
+	e := h.cache[name]
+	if e == nil {
+		e = &appEntry{}
+		h.cache[name] = e
+	}
+	h.mu.Unlock()
+	e.once.Do(func() {
+		h.builds.Add(1)
+		w := workloads.Build(spec, h.Scale)
+		e.at = &AppTrace{W: w, Tr: trace.FilterPrivate(w.Stream(h.Seed))}
+	})
+	return e.at, nil
+}
+
+// App returns the cached trace for an app, panicking on unknown names
+// (the figure runners all use vetted built-in names).
+func (h *Harness) App(name string) *AppTrace {
+	at, err := h.AppErr(name)
+	if err != nil {
+		panic(err.Error())
+	}
 	return at
 }
+
+// TraceBuilds reports how many app traces this harness has built — the
+// sweep tests assert that trace generation is cached per app, not
+// repeated per (app, scheme).
+func (h *Harness) TraceBuilds() int64 { return h.builds.Load() }
 
 // poolClassifier builds the Whirlpool classifier for one app: line →
 // callpoint → pool (per grouping), giving each pool a per-core VC.

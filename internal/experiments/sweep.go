@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"whirlpool/internal/noc"
+	"whirlpool/internal/schemes"
+	"whirlpool/internal/sim"
+	"whirlpool/internal/workloads"
+)
+
+// SweepMix is a named multi-programmed combination swept as one unit
+// (one app per core, fixed-work methodology).
+type SweepMix struct {
+	Name string
+	Apps []string
+}
+
+// SweepConfig describes an app × scheme grid to fan out across workers.
+type SweepConfig struct {
+	// Apps are single-app jobs (run on core 0 of the 4-core chip).
+	Apps []string
+	// Mixes are multi-app jobs (4-core chip up to 4 apps, 16-core up
+	// to 16).
+	Mixes []SweepMix
+	// Kinds are the schemes to cross with every app and mix; nil means
+	// all six.
+	Kinds []schemes.Kind
+	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// NoBypass disables VC bypassing in every run (ablation sweeps).
+	NoBypass bool
+	// OnRow, if set, observes each finished row (progress reporting).
+	// It is called from worker goroutines, serialized by the engine.
+	OnRow func(done, total int, row SweepRow)
+}
+
+// SweepRow is one (app-or-mix, scheme) cell of a sweep's result grid.
+type SweepRow struct {
+	App    string `json:"app"`
+	Scheme string `json:"scheme"`
+	// Mix marks rows produced by a multi-app mix; App is the mix name.
+	Mix bool `json:"mix,omitempty"`
+
+	Cycles uint64  `json:"cycles"`
+	Instrs uint64  `json:"instrs"`
+	IPC    float64 `json:"ipc"`
+	APKI   float64 `json:"apki"`
+	MPKI   float64 `json:"mpki"`
+
+	LLCAccesses uint64 `json:"llc_accesses"`
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Bypasses    uint64 `json:"bypasses"`
+
+	EnergyPJ        float64 `json:"energy_pj"`
+	NetworkEnergyPJ float64 `json:"network_energy_pj"`
+	BankEnergyPJ    float64 `json:"bank_energy_pj"`
+	MemoryEnergyPJ  float64 `json:"memory_energy_pj"`
+
+	// WallMS is host wall-clock time for this cell (not simulated time).
+	WallMS float64 `json:"wall_ms"`
+	// Err is set when the cell failed; the other fields are then zero.
+	Err string `json:"error,omitempty"`
+}
+
+func rowFromResult(name string, mix bool, kind schemes.Kind, r *sim.Result, wall time.Duration) SweepRow {
+	return SweepRow{
+		App:             name,
+		Scheme:          kind.ID(),
+		Mix:             mix,
+		Cycles:          r.Cycles,
+		Instrs:          r.Instrs,
+		IPC:             float64(r.Instrs) / float64(r.Cycles),
+		APKI:            r.TotalAccessesAPKI(),
+		MPKI:            r.MPKI(),
+		LLCAccesses:     r.Demand,
+		Hits:            r.Hits,
+		Misses:          r.Misses,
+		Bypasses:        r.Bypasses,
+		EnergyPJ:        r.Energy.Total(),
+		NetworkEnergyPJ: r.Energy.NetworkPJ,
+		BankEnergyPJ:    r.Energy.BankPJ,
+		MemoryEnergyPJ:  r.Energy.MemoryPJ,
+		WallMS:          float64(wall.Microseconds()) / 1000,
+	}
+}
+
+// sweepJob is one grid cell.
+type sweepJob struct {
+	app  string
+	mix  *SweepMix
+	kind schemes.Kind
+}
+
+// Sweep fans the app × scheme grid out across a worker pool and returns
+// one row per cell, in deterministic grid order (apps first, then
+// mixes; schemes in the given order). Each app's trace is generated and
+// private-filtered once and shared read-only by every scheme's run, so
+// results are bit-identical to serial RunSingle/RunMix calls.
+func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = schemes.AllKinds()
+	}
+	if len(cfg.Apps) == 0 && len(cfg.Mixes) == 0 {
+		return nil, fmt.Errorf("experiments: sweep has no apps and no mixes")
+	}
+
+	// Fail fast on unresolvable names and oversized mixes, before any
+	// expensive trace generation.
+	needed := map[string]bool{}
+	for _, a := range cfg.Apps {
+		needed[a] = true
+	}
+	for _, m := range cfg.Mixes {
+		if len(m.Apps) == 0 || len(m.Apps) > 16 {
+			return nil, fmt.Errorf("experiments: mix %q has %d apps (want 1..16)", m.Name, len(m.Apps))
+		}
+		for _, a := range m.Apps {
+			needed[a] = true
+		}
+	}
+	var unknown []string
+	for a := range needed {
+		if _, ok := workloads.ByName(a); !ok {
+			unknown = append(unknown, a)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return nil, fmt.Errorf("experiments: unknown apps in sweep: %v (whirlsim -list shows valid names)", unknown)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	// Stage 1: build every needed trace concurrently, each exactly once.
+	names := make([]string, 0, len(needed))
+	for a := range needed {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	prefetch := make(chan string, len(names))
+	for _, a := range names {
+		prefetch <- a
+	}
+	close(prefetch)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for a := range prefetch {
+				_, _ = h.AppErr(a)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Stage 2: the grid.
+	var jobs []sweepJob
+	for _, a := range cfg.Apps {
+		for _, k := range kinds {
+			jobs = append(jobs, sweepJob{app: a, kind: k})
+		}
+	}
+	for i := range cfg.Mixes {
+		for _, k := range kinds {
+			jobs = append(jobs, sweepJob{mix: &cfg.Mixes[i], kind: k})
+		}
+	}
+	rows := make([]SweepRow, len(jobs))
+	idx := make(chan int, len(jobs))
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	var done int
+	var progressMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				rows[i] = h.runSweepJob(jobs[i], cfg.NoBypass)
+				if cfg.OnRow != nil {
+					progressMu.Lock()
+					done++
+					cfg.OnRow(done, len(jobs), rows[i])
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return rows, nil
+}
+
+// runSweepJob executes one cell, converting panics from deep inside the
+// simulator into error rows so one bad cell cannot take down a sweep.
+func (h *Harness) runSweepJob(j sweepJob, noBypass bool) (row SweepRow) {
+	name := j.app
+	if j.mix != nil {
+		name = j.mix.Name
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			row = SweepRow{App: name, Scheme: j.kind.ID(), Mix: j.mix != nil, Err: fmt.Sprint(r)}
+		}
+	}()
+	start := time.Now()
+	var r *sim.Result
+	if j.mix != nil {
+		chip := noc.FourCoreChip()
+		if len(j.mix.Apps) > chip.NCores() {
+			chip = noc.SixteenCoreChip()
+		}
+		r = h.RunMix(j.mix.Apps, j.kind, chip, noBypass)
+	} else {
+		r = h.RunSingle(j.app, j.kind, RunOptions{NoBypass: noBypass})
+	}
+	return rowFromResult(name, j.mix != nil, j.kind, r, time.Since(start))
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"whirlpool/internal/noc"
+	"whirlpool/internal/schemes"
+)
+
+// The sweep engine must produce rows identical to serial single-app
+// runs: same trace cache, same seed, no cross-worker interference.
+func TestSweepMatchesSerial(t *testing.T) {
+	apps := []string{"delaunay", "MIS", "mcf"}
+	kinds := schemes.AllKinds()
+
+	sweepH := NewHarness(0.1)
+	rows, err := sweepH.Sweep(SweepConfig{Apps: apps, Kinds: kinds, Workers: 4})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(rows) != len(apps)*len(kinds) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(apps)*len(kinds))
+	}
+
+	serialH := NewHarness(0.1)
+	i := 0
+	for _, app := range apps {
+		for _, k := range kinds {
+			row := rows[i]
+			i++
+			if row.Err != "" {
+				t.Fatalf("%s/%v: sweep error: %s", app, k, row.Err)
+			}
+			if row.App != app || row.Scheme != k.ID() {
+				t.Fatalf("row %d is (%s,%s), want (%s,%s): grid order broken",
+					i-1, row.App, row.Scheme, app, k.ID())
+			}
+			r := serialH.RunSingle(app, k, RunOptions{})
+			if row.Cycles != r.Cycles || row.Instrs != r.Instrs ||
+				row.Hits != r.Hits || row.Misses != r.Misses ||
+				row.Bypasses != r.Bypasses || row.LLCAccesses != r.Demand {
+				t.Errorf("%s/%v: sweep row %+v != serial result cycles=%d instrs=%d hits=%d misses=%d byp=%d demand=%d",
+					app, k, row, r.Cycles, r.Instrs, r.Hits, r.Misses, r.Bypasses, r.Demand)
+			}
+			if row.EnergyPJ != r.Energy.Total() {
+				t.Errorf("%s/%v: sweep energy %g != serial %g", app, k, row.EnergyPJ, r.Energy.Total())
+			}
+		}
+	}
+}
+
+// Trace generation is the expensive part: a full-grid sweep must build
+// each app exactly once, not once per scheme.
+func TestSweepTraceCacheReuse(t *testing.T) {
+	h := NewHarness(0.05)
+	apps := []string{"delaunay", "MIS", "mcf"}
+	rows, err := h.Sweep(SweepConfig{Apps: apps, Workers: 4})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(rows) != len(apps)*6 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(apps)*6)
+	}
+	if got := h.TraceBuilds(); got != int64(len(apps)) {
+		t.Errorf("built %d traces for %d apps × 6 schemes, want %d (one per app)",
+			got, len(apps), len(apps))
+	}
+}
+
+// Mix rows run through the same engine and match serial RunMix.
+func TestSweepMixMatchesSerial(t *testing.T) {
+	mix := SweepMix{Name: "duo", Apps: []string{"delaunay", "MIS"}}
+	kinds := []schemes.Kind{schemes.KindSNUCALRU, schemes.KindWhirlpool}
+
+	sweepH := NewHarness(0.05)
+	rows, err := sweepH.Sweep(SweepConfig{Mixes: []SweepMix{mix}, Kinds: kinds, Workers: 2})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	serialH := NewHarness(0.05)
+	for i, k := range kinds {
+		row := rows[i]
+		if row.Err != "" {
+			t.Fatalf("%v: %s", k, row.Err)
+		}
+		if !row.Mix || row.App != "duo" {
+			t.Fatalf("row %d not marked as mix duo: %+v", i, row)
+		}
+		r := serialH.RunMix(mix.Apps, k, noc.FourCoreChip(), false)
+		if row.Cycles != r.Cycles || row.Hits != r.Hits || row.Misses != r.Misses {
+			t.Errorf("%v: mix row %+v != serial cycles=%d hits=%d misses=%d",
+				k, row, r.Cycles, r.Hits, r.Misses)
+		}
+	}
+}
+
+func TestSweepUnknownApp(t *testing.T) {
+	h := NewHarness(0.05)
+	_, err := h.Sweep(SweepConfig{Apps: []string{"delaunay", "nosuchapp"}})
+	if err == nil {
+		t.Fatal("Sweep accepted an unknown app")
+	}
+	if !strings.Contains(err.Error(), "nosuchapp") {
+		t.Errorf("error %q does not name the unknown app", err)
+	}
+	if h.TraceBuilds() != 0 {
+		t.Errorf("sweep built %d traces before failing validation, want 0", h.TraceBuilds())
+	}
+}
+
+func TestSweepEmpty(t *testing.T) {
+	h := NewHarness(0.05)
+	if _, err := h.Sweep(SweepConfig{}); err == nil {
+		t.Fatal("empty sweep should error")
+	}
+}
+
+func TestSweepWriters(t *testing.T) {
+	h := NewHarness(0.05)
+	rows, err := h.Sweep(SweepConfig{
+		Apps:  []string{"delaunay"},
+		Kinds: []schemes.Kind{schemes.KindSNUCALRU},
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	var csvBuf, jsonBuf, tableBuf bytes.Buffer
+	if err := WriteRowsCSV(&csvBuf, rows); err != nil {
+		t.Fatalf("CSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csvBuf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header+1 row", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "app,scheme,") || !strings.HasPrefix(lines[1], "delaunay,snuca-lru,") {
+		t.Errorf("unexpected CSV:\n%s", csvBuf.String())
+	}
+	if err := WriteRowsJSON(&jsonBuf, rows); err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if !strings.Contains(jsonBuf.String(), `"app": "delaunay"`) {
+		t.Errorf("unexpected JSON:\n%s", jsonBuf.String())
+	}
+	if err := WriteRowsTable(&tableBuf, rows); err != nil {
+		t.Fatalf("table: %v", err)
+	}
+	if !strings.Contains(tableBuf.String(), "delaunay") {
+		t.Errorf("unexpected table:\n%s", tableBuf.String())
+	}
+}
+
+// Progress callbacks arrive once per cell with monotonically increasing
+// done counts.
+func TestSweepProgress(t *testing.T) {
+	h := NewHarness(0.05)
+	var seen []int
+	_, err := h.Sweep(SweepConfig{
+		Apps:    []string{"delaunay", "MIS"},
+		Kinds:   []schemes.Kind{schemes.KindSNUCALRU},
+		Workers: 2,
+		OnRow:   func(done, total int, row SweepRow) { seen = append(seen, done*100+total) },
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(seen) != 2 || seen[0] != 102 || seen[1] != 202 {
+		t.Errorf("progress callbacks = %v, want [102 202]", seen)
+	}
+}

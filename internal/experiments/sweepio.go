@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"text/tabwriter"
+)
+
+// sweepCSVHeader is the column order for CSV output; kept in sync with
+// rowCSV below.
+var sweepCSVHeader = []string{
+	"app", "scheme", "mix", "cycles", "instrs", "ipc", "apki", "mpki",
+	"llc_accesses", "hits", "misses", "bypasses",
+	"energy_pj", "network_energy_pj", "bank_energy_pj", "memory_energy_pj",
+	"wall_ms", "error",
+}
+
+func rowCSV(r SweepRow) []string {
+	return []string{
+		r.App, r.Scheme, strconv.FormatBool(r.Mix),
+		strconv.FormatUint(r.Cycles, 10),
+		strconv.FormatUint(r.Instrs, 10),
+		strconv.FormatFloat(r.IPC, 'f', 6, 64),
+		strconv.FormatFloat(r.APKI, 'f', 4, 64),
+		strconv.FormatFloat(r.MPKI, 'f', 4, 64),
+		strconv.FormatUint(r.LLCAccesses, 10),
+		strconv.FormatUint(r.Hits, 10),
+		strconv.FormatUint(r.Misses, 10),
+		strconv.FormatUint(r.Bypasses, 10),
+		strconv.FormatFloat(r.EnergyPJ, 'f', 0, 64),
+		strconv.FormatFloat(r.NetworkEnergyPJ, 'f', 0, 64),
+		strconv.FormatFloat(r.BankEnergyPJ, 'f', 0, 64),
+		strconv.FormatFloat(r.MemoryEnergyPJ, 'f', 0, 64),
+		strconv.FormatFloat(r.WallMS, 'f', 3, 64),
+		r.Err,
+	}
+}
+
+// WriteRowsCSV writes sweep rows as CSV with a header row.
+func WriteRowsCSV(w io.Writer, rows []SweepRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(sweepCSVHeader); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write(rowCSV(r)); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteRowsJSON writes sweep rows as an indented JSON array.
+func WriteRowsJSON(w io.Writer, rows []SweepRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+// WriteRowsTable writes sweep rows as an aligned human-readable table.
+func WriteRowsTable(w io.Writer, rows []SweepRow) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "app\tscheme\tcycles(M)\tIPC\tAPKI\tMPKI\thit%\tbyp%\tDME(mJ)\twall(ms)")
+	for _, r := range rows {
+		if r.Err != "" {
+			fmt.Fprintf(tw, "%s\t%s\tERROR: %s\n", r.App, r.Scheme, r.Err)
+			continue
+		}
+		d := float64(r.LLCAccesses)
+		if d == 0 {
+			d = 1
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.3f\t%.1f\t%.2f\t%.1f\t%.1f\t%.3f\t%.1f\n",
+			r.App, r.Scheme, float64(r.Cycles)/1e6, r.IPC, r.APKI, r.MPKI,
+			100*float64(r.Hits)/d, 100*float64(r.Bypasses)/d, r.EnergyPJ/1e9, r.WallMS)
+	}
+	return tw.Flush()
+}

@@ -1,6 +1,9 @@
 package schemes
 
 import (
+	"fmt"
+	"strings"
+
 	"whirlpool/internal/cache"
 	"whirlpool/internal/energy"
 	"whirlpool/internal/jigsaw"
@@ -43,6 +46,46 @@ func (k Kind) String() string {
 // AllKinds lists the schemes in presentation order.
 func AllKinds() []Kind {
 	return []Kind{KindSNUCALRU, KindSNUCADRRIP, KindIdealSPD, KindAwasthi, KindJigsaw, KindWhirlpool}
+}
+
+// ID returns the stable lowercase identifier used in CLI flags, spec
+// files, and the public API (distinct from the figure label String()).
+func (k Kind) ID() string {
+	switch k {
+	case KindSNUCALRU:
+		return "snuca-lru"
+	case KindSNUCADRRIP:
+		return "snuca-drrip"
+	case KindIdealSPD:
+		return "idealspd"
+	case KindAwasthi:
+		return "awasthi"
+	case KindJigsaw:
+		return "jigsaw"
+	case KindWhirlpool:
+		return "whirlpool"
+	}
+	return "unknown"
+}
+
+// KindIDs lists every scheme identifier in presentation order.
+func KindIDs() []string {
+	ks := AllKinds()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = k.ID()
+	}
+	return out
+}
+
+// ParseKind resolves a scheme identifier (see Kind.ID) to its Kind.
+func ParseKind(name string) (Kind, error) {
+	for _, k := range AllKinds() {
+		if k.ID() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("schemes: unknown scheme %q (valid: %s)", name, strings.Join(KindIDs(), ", "))
 }
 
 // Options configures scheme construction.

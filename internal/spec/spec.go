@@ -1,0 +1,504 @@
+// Package spec parses declarative workload-spec files into the
+// workloads.AppSpec values the simulator runs. A spec file is JSON: a
+// set of apps (structures, access patterns, phase schedules) plus
+// optional multi-app mixes and a file-level scale factor. The format
+// round-trips the built-in suite exactly (see Builtin and the tests),
+// so the 31 hard-coded apps are just one loadable spec among many.
+//
+// See docs/workload-specs.md for the schema reference and examples.
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"whirlpool/internal/addr"
+	"whirlpool/internal/workloads"
+)
+
+// File is a parsed workload-spec file.
+type File struct {
+	// Version is the schema version (currently 1; 0 means 1).
+	Version int `json:"version,omitempty"`
+	// Name labels the spec set (used in logs only).
+	Name string `json:"name,omitempty"`
+	// Comment is free-form documentation.
+	Comment string `json:"comment,omitempty"`
+	// Scale multiplies every app's access count at load time (0 = 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Apps are the workload definitions.
+	Apps []App `json:"apps"`
+	// Mixes name multi-programmed combinations (one app per core). Mix
+	// members may be apps from this file or built-in suite apps.
+	Mixes []Mix `json:"mixes,omitempty"`
+}
+
+// App mirrors workloads.AppSpec with human-friendly encodings (string
+// patterns, size suffixes).
+type App struct {
+	Name        string   `json:"name"`
+	Suite       string   `json:"suite,omitempty"`
+	Structs     []Struct `json:"structs"`
+	Phases      []Phase  `json:"phases,omitempty"`
+	PeriodFrac  float64  `json:"period_frac,omitempty"`
+	PhaseJitter float64  `json:"phase_jitter,omitempty"`
+	APKI        float64  `json:"apki,omitempty"`
+	Accesses    uint64   `json:"accesses,omitempty"`
+	ManualPools [][]int  `json:"manual_pools,omitempty"`
+	ManualLOC   int      `json:"manual_loc,omitempty"`
+}
+
+// Struct is one data structure.
+type Struct struct {
+	Name      string   `json:"name"`
+	Bytes     ByteSize `json:"bytes"`
+	Pattern   string   `json:"pattern"`
+	Param     float64  `json:"param,omitempty"`
+	WriteFrac float64  `json:"write_frac,omitempty"`
+}
+
+// Phase is one phase of the app's phase schedule.
+type Phase struct {
+	Len      float64   `json:"len"`
+	Weights  []float64 `json:"weights"`
+	Patterns []string  `json:"patterns,omitempty"`
+	Params   []float64 `json:"params,omitempty"`
+}
+
+// Mix is a named multi-programmed combination.
+type Mix struct {
+	Name string   `json:"name"`
+	Apps []string `json:"apps"`
+}
+
+// ByteSize is a byte count that unmarshals from either a JSON number or
+// a string with a B/KB/MB/GB suffix ("96MB", "512 KB"), and marshals to
+// the most compact exact suffix form.
+type ByteSize uint64
+
+var sizeRe = regexp.MustCompile(`^([0-9]+(?:\.[0-9]+)?)\s*([KMGkmg]?)[Bb]?$`)
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (b *ByteSize) UnmarshalJSON(data []byte) error {
+	if len(data) > 0 && data[0] == '"' {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		m := sizeRe.FindStringSubmatch(strings.TrimSpace(s))
+		if m == nil {
+			return fmt.Errorf("bad size %q (want e.g. 4194304, \"4MB\", \"512KB\")", s)
+		}
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad size %q: %v", s, err)
+		}
+		switch strings.ToUpper(m[2]) {
+		case "K":
+			v *= addr.KB
+		case "M":
+			v *= addr.MB
+		case "G":
+			v *= addr.MB * 1024
+		}
+		*b = ByteSize(v)
+		return nil
+	}
+	var n uint64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("bad size %s (want a byte count or a \"4MB\"-style string)", data)
+	}
+	*b = ByteSize(n)
+	return nil
+}
+
+// MarshalJSON implements json.Marshaler.
+func (b ByteSize) MarshalJSON() ([]byte, error) {
+	n := uint64(b)
+	switch {
+	case n >= addr.MB && n%addr.MB == 0:
+		return json.Marshal(fmt.Sprintf("%dMB", n/addr.MB))
+	case n >= addr.KB && n%addr.KB == 0:
+		return json.Marshal(fmt.Sprintf("%dKB", n/addr.KB))
+	}
+	return json.Marshal(n)
+}
+
+// Defaults applied by Parse when a field is omitted.
+const (
+	DefaultAccesses = 3_000_000
+	DefaultAPKI     = 35
+	DefaultSuite    = "custom"
+)
+
+// nameRe restricts app/mix names so they survive comma-separated CLI
+// flags and file paths.
+var nameRe = regexp.MustCompile(`^[A-Za-z0-9._+-]+$`)
+
+var patternNames = map[string]workloads.Pattern{
+	"inherit": workloads.Inherit,
+	"seq":     workloads.Seq,
+	"rand":    workloads.Rand,
+	"zipf":    workloads.Zipf,
+	"chase":   workloads.Chase,
+	"wsloop":  workloads.WSLoop,
+	"randws":  workloads.RandWS,
+}
+
+func parsePattern(s string, allowInherit bool) (workloads.Pattern, error) {
+	p, ok := patternNames[s]
+	if !ok || (p == workloads.Inherit && !allowInherit) {
+		return 0, fmt.Errorf("unknown pattern %q (valid: seq, rand, zipf, chase, wsloop, randws)", s)
+	}
+	return p, nil
+}
+
+// paramOK checks a (pattern, param) pair; shared by struct defaults and
+// phase overrides.
+func paramOK(p workloads.Pattern, param float64) error {
+	switch p {
+	case workloads.Zipf:
+		if param <= 0 || param > 4 {
+			return fmt.Errorf("zipf needs param in (0,4], got %g", param)
+		}
+	case workloads.WSLoop, workloads.RandWS:
+		if param <= 0 || param > 1 {
+			return fmt.Errorf("%v needs param in (0,1] (working-set fraction), got %g", p, param)
+		}
+	}
+	// Other patterns ignore param (the generator never reads it).
+	return nil
+}
+
+// Parse decodes, applies defaults, and validates a spec file. Unknown
+// JSON fields are rejected so typos fail loudly.
+func Parse(data []byte) (*File, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("spec: trailing data after the top-level object")
+	}
+	if err := f.validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Load reads and parses a spec file from disk.
+func Load(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %v", err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return f, nil
+}
+
+// validate applies defaults and checks every constraint, reporting the
+// first violation with its JSON path.
+func (f *File) validate() error {
+	if f.Version != 0 && f.Version != 1 {
+		return fmt.Errorf("spec: unsupported version %d (this build understands 1)", f.Version)
+	}
+	if f.Scale < 0 {
+		return fmt.Errorf("spec: scale must be >= 0, got %g", f.Scale)
+	}
+	if len(f.Apps) == 0 && len(f.Mixes) == 0 {
+		return fmt.Errorf("spec: file defines no apps and no mixes")
+	}
+	appNames := make(map[string]bool, len(f.Apps))
+	for i := range f.Apps {
+		a := &f.Apps[i]
+		at := fmt.Sprintf("apps[%d] (%s)", i, a.Name)
+		if err := a.applyDefaultsAndValidate(); err != nil {
+			return fmt.Errorf("spec: %s: %v", at, err)
+		}
+		if appNames[a.Name] {
+			return fmt.Errorf("spec: %s: duplicate app name", at)
+		}
+		appNames[a.Name] = true
+	}
+	mixNames := make(map[string]bool, len(f.Mixes))
+	for i, m := range f.Mixes {
+		at := fmt.Sprintf("mixes[%d] (%s)", i, m.Name)
+		if !nameRe.MatchString(m.Name) {
+			return fmt.Errorf("spec: %s: name must match %s", at, nameRe)
+		}
+		if mixNames[m.Name] {
+			return fmt.Errorf("spec: %s: duplicate mix name", at)
+		}
+		mixNames[m.Name] = true
+		if len(m.Apps) < 1 || len(m.Apps) > 16 {
+			return fmt.Errorf("spec: %s: mixes take 1..16 apps (one per core), got %d", at, len(m.Apps))
+		}
+		for _, name := range m.Apps {
+			if appNames[name] {
+				continue
+			}
+			if _, ok := workloads.ByName(name); !ok {
+				return fmt.Errorf("spec: %s: unknown app %q (not in this file or the known suite)", at, name)
+			}
+		}
+	}
+	return nil
+}
+
+func (a *App) applyDefaultsAndValidate() error {
+	if !nameRe.MatchString(a.Name) {
+		return fmt.Errorf("name must match %s", nameRe)
+	}
+	if a.Suite == "" {
+		a.Suite = DefaultSuite
+	}
+	if a.Accesses == 0 {
+		a.Accesses = DefaultAccesses
+	}
+	if a.APKI == 0 {
+		a.APKI = DefaultAPKI
+	}
+	if a.APKI < 0 || a.APKI > 1000 {
+		return fmt.Errorf("apki must be in (0,1000], got %g", a.APKI)
+	}
+	if a.PeriodFrac < 0 || a.PeriodFrac > 1 {
+		return fmt.Errorf("period_frac must be in [0,1], got %g", a.PeriodFrac)
+	}
+	if a.PhaseJitter < 0 || a.PhaseJitter >= 1 {
+		return fmt.Errorf("phase_jitter must be in [0,1), got %g", a.PhaseJitter)
+	}
+	if len(a.Structs) == 0 {
+		return fmt.Errorf("needs at least one struct")
+	}
+	structNames := make(map[string]bool, len(a.Structs))
+	for i, st := range a.Structs {
+		at := fmt.Sprintf("structs[%d] (%s)", i, st.Name)
+		if st.Name == "" {
+			return fmt.Errorf("%s: needs a name", at)
+		}
+		if structNames[st.Name] {
+			return fmt.Errorf("%s: duplicate struct name", at)
+		}
+		structNames[st.Name] = true
+		if st.Bytes < addr.LineBytes {
+			return fmt.Errorf("%s: bytes must be at least one cache line (%d), got %d", at, addr.LineBytes, st.Bytes)
+		}
+		p, err := parsePattern(st.Pattern, false)
+		if err != nil {
+			return fmt.Errorf("%s: %v", at, err)
+		}
+		if err := paramOK(p, st.Param); err != nil {
+			return fmt.Errorf("%s: %v", at, err)
+		}
+		if st.WriteFrac < 0 || st.WriteFrac > 1 {
+			return fmt.Errorf("%s: write_frac must be in [0,1], got %g", at, st.WriteFrac)
+		}
+	}
+	if len(a.Phases) == 0 {
+		w := make([]float64, len(a.Structs))
+		for i := range w {
+			w[i] = 1
+		}
+		a.Phases = []Phase{{Len: 1, Weights: w}}
+	}
+	for i, ph := range a.Phases {
+		at := fmt.Sprintf("phases[%d]", i)
+		if ph.Len <= 0 {
+			return fmt.Errorf("%s: len must be > 0, got %g", at, ph.Len)
+		}
+		if len(ph.Weights) != len(a.Structs) {
+			return fmt.Errorf("%s: weights needs one entry per struct (%d), got %d", at, len(a.Structs), len(ph.Weights))
+		}
+		sum := 0.0
+		for j, w := range ph.Weights {
+			if w < 0 {
+				return fmt.Errorf("%s: weights[%d] must be >= 0, got %g", at, j, w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("%s: weights must sum to > 0", at)
+		}
+		if ph.Patterns != nil && len(ph.Patterns) != len(a.Structs) {
+			return fmt.Errorf("%s: patterns needs one entry per struct (%d), got %d", at, len(a.Structs), len(ph.Patterns))
+		}
+		if ph.Params != nil && len(ph.Params) != len(a.Structs) {
+			return fmt.Errorf("%s: params needs one entry per struct (%d), got %d", at, len(a.Structs), len(ph.Params))
+		}
+		// Validate the effective (pattern, param) pair the generator
+		// will use for each struct in this phase: patterns default to
+		// the struct's own, and a phase param of 0 keeps the struct
+		// default — note the generator applies params even when the
+		// phase has no patterns array.
+		for j := range a.Structs {
+			p, _ := parsePattern(a.Structs[j].Pattern, false)
+			if ph.Patterns != nil {
+				op, err := parsePattern(ph.Patterns[j], true)
+				if err != nil {
+					return fmt.Errorf("%s: patterns[%d]: %v", at, j, err)
+				}
+				if op != workloads.Inherit {
+					p = op
+				}
+			}
+			param := a.Structs[j].Param
+			if ph.Params != nil && ph.Params[j] != 0 {
+				param = ph.Params[j]
+			}
+			if err := paramOK(p, param); err != nil {
+				return fmt.Errorf("%s: structs[%d] (%s) in this phase: %v", at, j, a.Structs[j].Name, err)
+			}
+		}
+	}
+	seenIdx := make(map[int]bool)
+	for gi, group := range a.ManualPools {
+		for _, si := range group {
+			if si < 0 || si >= len(a.Structs) {
+				return fmt.Errorf("manual_pools[%d]: struct index %d out of range [0,%d)", gi, si, len(a.Structs))
+			}
+			if seenIdx[si] {
+				return fmt.Errorf("manual_pools[%d]: struct index %d appears in two pools", gi, si)
+			}
+			seenIdx[si] = true
+		}
+	}
+	return nil
+}
+
+// AppSpecs converts the file's apps into runnable workload specs, with
+// the file-level scale factor applied to access counts.
+func (f *File) AppSpecs() []workloads.AppSpec {
+	scale := f.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]workloads.AppSpec, len(f.Apps))
+	for i, a := range f.Apps {
+		out[i] = appToSpec(a, scale)
+	}
+	return out
+}
+
+func appToSpec(a App, scale float64) workloads.AppSpec {
+	s := workloads.AppSpec{
+		Name:        a.Name,
+		Suite:       a.Suite,
+		PeriodFrac:  a.PeriodFrac,
+		PhaseJitter: a.PhaseJitter,
+		APKI:        a.APKI,
+		Accesses:    uint64(float64(a.Accesses) * scale),
+		ManualPools: a.ManualPools,
+		ManualLOC:   a.ManualLOC,
+	}
+	for _, st := range a.Structs {
+		p, _ := parsePattern(st.Pattern, false)
+		s.Structs = append(s.Structs, workloads.StructSpec{
+			Name:      st.Name,
+			Bytes:     uint64(st.Bytes),
+			Pattern:   p,
+			Param:     st.Param,
+			WriteFrac: st.WriteFrac,
+		})
+	}
+	for _, ph := range a.Phases {
+		wp := workloads.PhaseSpec{Len: ph.Len, Weights: ph.Weights, Params: ph.Params}
+		if ph.Patterns != nil {
+			wp.Patterns = make([]workloads.Pattern, len(ph.Patterns))
+			for j, ps := range ph.Patterns {
+				wp.Patterns[j], _ = parsePattern(ps, true)
+			}
+		}
+		s.Phases = append(s.Phases, wp)
+	}
+	return s
+}
+
+// MixApps resolves a mix name to its member app list.
+func (f *File) MixApps(name string) ([]string, bool) {
+	for _, m := range f.Mixes {
+		if m.Name == name {
+			return m.Apps, true
+		}
+	}
+	return nil, false
+}
+
+// Register converts the file's apps and registers them with the
+// workloads registry (replacing same-named apps), returning the
+// registered names.
+func (f *File) Register() ([]string, error) {
+	specs := f.AppSpecs()
+	if err := workloads.RegisterAll(specs); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names, nil
+}
+
+// FromAppSpecs converts runnable specs back into the file form, the
+// inverse of AppSpecs (at scale 1).
+func FromAppSpecs(name string, specs []workloads.AppSpec) *File {
+	f := &File{Version: 1, Name: name}
+	for _, s := range specs {
+		a := App{
+			Name:        s.Name,
+			Suite:       s.Suite,
+			PeriodFrac:  s.PeriodFrac,
+			PhaseJitter: s.PhaseJitter,
+			APKI:        s.APKI,
+			Accesses:    s.Accesses,
+			ManualPools: s.ManualPools,
+			ManualLOC:   s.ManualLOC,
+		}
+		for _, st := range s.Structs {
+			a.Structs = append(a.Structs, Struct{
+				Name:      st.Name,
+				Bytes:     ByteSize(st.Bytes),
+				Pattern:   st.Pattern.String(),
+				Param:     st.Param,
+				WriteFrac: st.WriteFrac,
+			})
+		}
+		for _, ph := range s.Phases {
+			p := Phase{Len: ph.Len, Weights: ph.Weights, Params: ph.Params}
+			if ph.Patterns != nil {
+				p.Patterns = make([]string, len(ph.Patterns))
+				for j, pt := range ph.Patterns {
+					p.Patterns[j] = pt.String()
+				}
+			}
+			a.Phases = append(a.Phases, p)
+		}
+		f.Apps = append(f.Apps, a)
+	}
+	return f
+}
+
+// Builtin returns the built-in suite in spec-file form.
+func Builtin() *File {
+	f := FromAppSpecs("builtin", workloads.Specs())
+	f.Comment = "The paper's 31-app synthetic suite, exported by whirlsweep -dump-builtin. Regenerate after editing internal/workloads/specs.go."
+	return f
+}
+
+// Encode renders a spec file as canonical indented JSON.
+func Encode(f *File) ([]byte, error) {
+	out, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

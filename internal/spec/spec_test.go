@@ -1,0 +1,227 @@
+package spec
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"whirlpool/internal/workloads"
+)
+
+const validSpec = `{
+  "version": 1,
+  "name": "test-set",
+  "apps": [
+    {
+      "name": "kvtest",
+      "structs": [
+        {"name": "hot", "bytes": "2MB", "pattern": "zipf", "param": 0.9, "write_frac": 0.3},
+        {"name": "log", "bytes": "512KB", "pattern": "seq", "write_frac": 0.9},
+        {"name": "raw", "bytes": 131072, "pattern": "rand"}
+      ],
+      "phases": [
+        {"len": 0.6, "weights": [0.6, 0.3, 0.1]},
+        {"len": 0.4, "weights": [0.2, 0.6, 0.2], "patterns": ["inherit", "randws", "inherit"], "params": [0, 0.5, 0]}
+      ],
+      "period_frac": 0.5,
+      "manual_pools": [[0], [1, 2]]
+    }
+  ],
+  "mixes": [
+    {"name": "duo", "apps": ["kvtest", "delaunay"]}
+  ]
+}`
+
+func TestParseValid(t *testing.T) {
+	f, err := Parse([]byte(validSpec))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	specs := f.AppSpecs()
+	if len(specs) != 1 {
+		t.Fatalf("got %d apps, want 1", len(specs))
+	}
+	s := specs[0]
+	if s.Name != "kvtest" || s.Suite != DefaultSuite {
+		t.Errorf("name/suite = %q/%q", s.Name, s.Suite)
+	}
+	if s.Accesses != DefaultAccesses || s.APKI != DefaultAPKI {
+		t.Errorf("defaults not applied: accesses=%d apki=%g", s.Accesses, s.APKI)
+	}
+	if s.Structs[0].Bytes != 2*1024*1024 || s.Structs[1].Bytes != 512*1024 || s.Structs[2].Bytes != 131072 {
+		t.Errorf("byte sizes wrong: %+v", s.Structs)
+	}
+	if s.Structs[0].Pattern != workloads.Zipf || s.Structs[2].Pattern != workloads.Rand {
+		t.Errorf("patterns wrong: %+v", s.Structs)
+	}
+	if s.Phases[1].Patterns[1] != workloads.RandWS {
+		t.Errorf("phase pattern override wrong: %+v", s.Phases[1])
+	}
+	if apps, ok := f.MixApps("duo"); !ok || len(apps) != 2 {
+		t.Errorf("mix duo not found or wrong: %v %v", apps, ok)
+	}
+	// The parsed app must build and stream.
+	w := workloads.Build(s, 0.01)
+	st := w.Stream(1)
+	n := 0
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		t.Fatal("parsed app generated no accesses")
+	}
+}
+
+func TestParseDefaultsPhases(t *testing.T) {
+	f, err := Parse([]byte(`{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	s := f.AppSpecs()[0]
+	if len(s.Phases) != 1 || len(s.Phases[0].Weights) != 1 || s.Phases[0].Weights[0] != 1 {
+		t.Fatalf("default phase wrong: %+v", s.Phases)
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	f, err := Parse([]byte(`{"scale":0.5,"apps":[{"name":"a","accesses":1000,"structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := f.AppSpecs()[0].Accesses; got != 500 {
+		t.Fatalf("scaled accesses = %d, want 500", got)
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	cases := []struct {
+		name, in, wantErr string
+	}{
+		{"bad json", `{`, "unexpected"},
+		{"unknown field", `{"apps":[{"name":"a","bytes":1}]}`, "unknown field"},
+		{"no apps", `{"apps":[]}`, "no apps"},
+		{"empty name", `{"apps":[{"name":"","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`, "name must match"},
+		{"bad name", `{"apps":[{"name":"a b","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`, "name must match"},
+		{"dup app", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]},{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`, "duplicate app"},
+		{"no structs", `{"apps":[{"name":"a","structs":[]}]}`, "at least one struct"},
+		{"dup struct", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"},{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`, "duplicate struct"},
+		{"tiny struct", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":32,"pattern":"rand"}]}]}`, "at least one cache line"},
+		{"bad size", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"4XB","pattern":"rand"}]}]}`, "bad size"},
+		{"bad pattern", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"zipff"}]}]}`, "unknown pattern"},
+		{"inherit struct", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"inherit"}]}]}`, "unknown pattern"},
+		{"zipf no param", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"zipf"}]}]}`, "zipf needs param"},
+		{"ws bad param", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"wsloop","param":1.5}]}]}`, "param in (0,1]"},
+		{"bad writefrac", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand","write_frac":1.5}]}]}`, "write_frac"},
+		{"weights len", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}],"phases":[{"len":1,"weights":[1,2]}]}]}`, "one entry per struct"},
+		{"weights zero", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}],"phases":[{"len":1,"weights":[0]}]}]}`, "sum to > 0"},
+		{"phase len", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}],"phases":[{"len":0,"weights":[1]}]}]}`, "len must be > 0"},
+		{"phase zipf param", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}],"phases":[{"len":1,"weights":[1],"patterns":["zipf"]}]}]}`, "zipf needs param"},
+		{"phase bad pattern", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}],"phases":[{"len":1,"weights":[1],"patterns":["zipff"]}]}]}`, "unknown pattern"},
+		{"phase param no patterns", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"wsloop","param":0.5}],"phases":[{"len":1,"weights":[1],"params":[5]}]}]}`, "param in (0,1]"},
+		{"pool index", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}],"manual_pools":[[1]]}]}`, "out of range"},
+		{"pool dup", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}],"manual_pools":[[0],[0]]}]}`, "two pools"},
+		{"bad apki", `{"apps":[{"name":"a","apki":-1,"structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`, "apki"},
+		{"bad period", `{"apps":[{"name":"a","period_frac":2,"structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`, "period_frac"},
+		{"mix unknown app", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["nosuch"]}]}`, "unknown app"},
+		{"mix too big", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a","a","a","a","a","a","a","a","a","a","a","a","a","a","a","a","a"]}]}`, "1..16"},
+		{"dup mix", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"]},{"name":"m","apps":["a"]}]}`, "duplicate mix"},
+		{"bad version", `{"version":9,"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`, "unsupported version"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse([]byte(c.in))
+			if err == nil {
+				t.Fatalf("Parse accepted invalid spec")
+			}
+			if !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// The built-in suite must survive encode → parse → convert exactly:
+// spec files are a complete, lossless description of any workload the
+// simulator can run.
+func TestBuiltinRoundTrip(t *testing.T) {
+	data, err := Encode(Builtin())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	f, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse(encoded builtin): %v", err)
+	}
+	got := f.AppSpecs()
+	want := workloads.Specs()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip count %d != %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Errorf("app %s did not round-trip:\n got: %+v\nwant: %+v", want[i].Name, got[i], want[i])
+		}
+	}
+}
+
+func TestByteSizeMarshal(t *testing.T) {
+	cases := []struct {
+		in   ByteSize
+		want string
+	}{
+		{96 * 1024 * 1024, `"96MB"`},
+		{512 * 1024, `"512KB"`},
+		{1536 * 1024, `"1536KB"`},
+		{100, `100`},
+	}
+	for _, c := range cases {
+		out, err := json.Marshal(c.in)
+		if err != nil {
+			t.Fatalf("Marshal(%d): %v", c.in, err)
+		}
+		if string(out) != c.want {
+			t.Errorf("Marshal(%d) = %s, want %s", c.in, out, c.want)
+		}
+		var back ByteSize
+		if err := json.Unmarshal(out, &back); err != nil || back != c.in {
+			t.Errorf("Unmarshal(%s) = %d, %v; want %d", out, back, err, c.in)
+		}
+	}
+}
+
+func TestRegisterShadowsAndExtends(t *testing.T) {
+	f, err := Parse([]byte(`{"apps":[
+		{"name":"spec_test_new", "structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]},
+		{"name":"delaunay", "accesses": 42000, "structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}
+	]}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	names, err := f.Register()
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("registered %d apps, want 2", len(names))
+	}
+	if _, ok := workloads.ByName("spec_test_new"); !ok {
+		t.Error("new app not resolvable after Register")
+	}
+	if s, _ := workloads.ByName("delaunay"); s.Accesses != 42000 {
+		t.Errorf("registered app should shadow builtin, got accesses=%d", s.Accesses)
+	}
+	all := workloads.Names()
+	count := 0
+	for _, n := range all {
+		if n == "delaunay" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("delaunay appears %d times in Names, want 1", count)
+	}
+}

@@ -1,0 +1,69 @@
+package workloads
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The registry holds specs loaded at runtime (from workload-spec files,
+// see internal/spec). Registered specs layer over the built-in suite:
+// registering a name that already exists — built-in or previously
+// registered — replaces it, so a spec file can both add new apps and
+// tweak existing ones. ByName and Names consult the registry; everything
+// downstream (the experiments harness, the public Run API, the CLIs)
+// picks registered apps up automatically.
+var (
+	regMu   sync.RWMutex
+	regList []AppSpec
+	regIdx  = map[string]int{}
+)
+
+// Register adds a runtime spec, replacing any existing app with the same
+// name. The spec is assumed validated (internal/spec does this before
+// registering).
+func Register(spec AppSpec) error {
+	if spec.Name == "" {
+		return fmt.Errorf("workloads: cannot register a spec with an empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if i, ok := regIdx[spec.Name]; ok {
+		regList[i] = spec
+		return nil
+	}
+	regIdx[spec.Name] = len(regList)
+	regList = append(regList, spec)
+	return nil
+}
+
+// RegisterAll registers every spec, stopping at the first error.
+func RegisterAll(specs []AppSpec) error {
+	for _, s := range specs {
+		if err := Register(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// registered returns the runtime spec for name, if any.
+func registered(name string) (AppSpec, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if i, ok := regIdx[name]; ok {
+		return regList[i], true
+	}
+	return AppSpec{}, false
+}
+
+// RegisteredNames returns the names of runtime-registered apps in
+// registration order (including ones that shadow built-ins).
+func RegisteredNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regList))
+	for i, s := range regList {
+		out[i] = s.Name
+	}
+	return out
+}

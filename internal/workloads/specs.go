@@ -397,8 +397,12 @@ func Specs() []AppSpec {
 	}
 }
 
-// ByName returns the spec with the given name.
+// ByName returns the spec with the given name. Runtime-registered specs
+// (see Register) shadow built-ins of the same name.
 func ByName(name string) (AppSpec, bool) {
+	if s, ok := registered(name); ok {
+		return s, true
+	}
 	for _, s := range Specs() {
 		if s.Name == name {
 			return s, true
@@ -407,12 +411,32 @@ func ByName(name string) (AppSpec, bool) {
 	return AppSpec{}, false
 }
 
-// Names returns all app names in suite order.
-func Names() []string {
+// BuiltinNames returns the built-in suite's app names in suite order,
+// ignoring the runtime registry — the paper's figure runners use this so
+// loaded spec files cannot silently change what a "paper figure" means.
+func BuiltinNames() []string {
 	specs := Specs()
 	out := make([]string, len(specs))
 	for i, s := range specs {
 		out[i] = s.Name
+	}
+	return out
+}
+
+// Names returns all app names: the built-in suite in order, then
+// runtime-registered apps (minus any that shadow a built-in, which keep
+// their built-in position).
+func Names() []string {
+	out := BuiltinNames()
+	seen := make(map[string]bool, len(out))
+	for _, n := range out {
+		seen[n] = true
+	}
+	for _, n := range RegisteredNames() {
+		if !seen[n] {
+			out = append(out, n)
+			seen[n] = true
+		}
 	}
 	return out
 }

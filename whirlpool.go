@@ -29,6 +29,7 @@ import (
 	"whirlpool/internal/paws"
 	"whirlpool/internal/schemes"
 	"whirlpool/internal/sim"
+	"whirlpool/internal/spec"
 	"whirlpool/internal/workloads"
 )
 
@@ -51,21 +52,11 @@ func Schemes() []Scheme {
 }
 
 func (s Scheme) kind() (schemes.Kind, error) {
-	switch s {
-	case SNUCALRU:
-		return schemes.KindSNUCALRU, nil
-	case SNUCADRRIP:
-		return schemes.KindSNUCADRRIP, nil
-	case IdealSPD:
-		return schemes.KindIdealSPD, nil
-	case Awasthi:
-		return schemes.KindAwasthi, nil
-	case Jigsaw:
-		return schemes.KindJigsaw, nil
-	case Whirlpool:
-		return schemes.KindWhirlpool, nil
+	k, err := schemes.ParseKind(string(s))
+	if err != nil {
+		return 0, fmt.Errorf("whirlpool: unknown scheme %q (valid: %v)", s, Schemes())
 	}
-	return 0, fmt.Errorf("whirlpool: unknown scheme %q", s)
+	return k, nil
 }
 
 // Options tune a run. The zero value (or nil) uses the defaults the
@@ -145,9 +136,48 @@ func harnessFor(scale float64) *experiments.Harness {
 	return h
 }
 
-// Apps lists the single-threaded benchmark suite (15 SPEC-like + 16
-// PBBS-like apps).
+// Apps lists every runnable single-threaded app: the built-in suite
+// (15 SPEC-like + 16 PBBS-like apps) plus any apps registered from
+// spec files (LoadSpecFile).
 func Apps() []string { return workloads.Names() }
+
+// SpecApps lists only the apps registered from spec files.
+func SpecApps() []string { return workloads.RegisteredNames() }
+
+// SpecInfo summarizes a loaded spec file.
+type SpecInfo struct {
+	// Name labels the spec set (from the file, or the path).
+	Name string
+	// Apps are the registered app names, now runnable via Run.
+	Apps []string
+	// Mixes maps each mix name to its member apps.
+	Mixes map[string][]string
+}
+
+// LoadSpecFile parses a declarative workload-spec file (see
+// docs/workload-specs.md) and registers its apps, making them runnable
+// by name exactly like built-in suite apps. Apps with built-in names
+// replace the built-in definition. Load spec files before the first Run
+// of an app they redefine: built traces are cached per scale, and a
+// replacement registered afterwards does not invalidate them.
+func LoadSpecFile(path string) (*SpecInfo, error) {
+	f, err := spec.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	apps, err := f.Register()
+	if err != nil {
+		return nil, err
+	}
+	info := &SpecInfo{Name: f.Name, Apps: apps, Mixes: map[string][]string{}}
+	if info.Name == "" {
+		info.Name = path
+	}
+	for _, m := range f.Mixes {
+		info.Mixes[m.Name] = m.Apps
+	}
+	return info, nil
+}
 
 // ParallelApps lists the task-parallel suite (Fig 13).
 func ParallelApps() []string {
