@@ -3,13 +3,23 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt fmt-check bench smoke ci
+.PHONY: build examples test race vet fmt fmt-check bench smoke ci
 
 build:
 	$(GO) build ./...
 
+# ./... already covers examples/, but an explicit target keeps example
+# drift visible as its own CI step.
+examples:
+	$(GO) build ./examples/...
+
 test:
 	$(GO) test ./...
+
+# The concurrency hot spots: the sweep worker pool and the per-app
+# once-cache in the experiments harness.
+race:
+	$(GO) test -race -count=1 ./internal/experiments/...
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +45,9 @@ smoke:
 	$(GO) run ./cmd/whirlsim -spec specs/phase-shift.json -app phaser -scheme whirlpool -scale 0.05
 	$(GO) run ./cmd/whirlsim -spec specs/phase-shift.json -app phaser -scheme jigsaw -scale 0.05
 	$(GO) run ./cmd/whirlsim -spec specs/multitenant-kv.json -list | grep -q 'kv-hot (spec file)'
+	$(GO) run ./cmd/whirlsim -list | grep -q 'whirlpool (Whirlpool)'
+	$(GO) run ./cmd/whirlsim -app delaunay -scheme snuca-lru -chip 6x6:4 -scale 0.05
+	$(GO) run ./cmd/whirlsweep -spec specs/multitenant-kv.json -mix kv2-dense -schemes whirlpool -scale 0.05 -q
 	$(GO) run ./cmd/whirlsweep -apps delaunay,MIS,mcf -scale 0.05 -format csv -q | grep -q '^delaunay,whirlpool,'
 	$(GO) run ./cmd/whirlsweep -spec specs/streaming-mix.json -mix stream-vs-rank -schemes snuca-lru,whirlpool -scale 0.05 -q
 	$(GO) run ./cmd/whirlsweep -dump-builtin | diff -q - specs/builtin.json
@@ -42,6 +55,7 @@ smoke:
 	! $(GO) run ./cmd/whirlsim -spec no-such-file.json 2>/dev/null
 	! $(GO) run ./cmd/whirlsim -app nosuchapp -scale 0.05 2>/dev/null
 	! $(GO) run ./cmd/whirlsweep -apps nosuchapp -q 2>/dev/null
+	! $(GO) run ./cmd/whirlsim -chip 1x1 -scale 0.05 2>/dev/null
 	@echo "smoke OK"
 
-ci: build vet fmt-check test bench smoke
+ci: build examples vet fmt-check test race bench smoke

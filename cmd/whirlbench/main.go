@@ -19,6 +19,7 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure/table id, or 'all' (see -listfigs)")
 	scale := flag.Float64("scale", 1.0, "workload length multiplier")
+	seed := flag.Uint64("seed", 0, "workload generation seed (0 = the published default)")
 	mixes := flag.Int("mixes", 20, "number of mixes for fig22")
 	apps := flag.String("apps", "", "comma-separated app subset for suite figures")
 	listFigs := flag.Bool("listfigs", false, "list figure ids and exit")
@@ -28,7 +29,7 @@ func main() {
 		fmt.Println("figures:", strings.Join(whirlpool.Figures(), " "))
 		return
 	}
-	opt := &whirlpool.FigureOptions{Scale: *scale, Mixes: *mixes}
+	opt := &whirlpool.FigureOptions{Scale: *scale, Mixes: *mixes, Seed: *seed}
 	if *apps != "" {
 		opt.Apps = strings.Split(*apps, ",")
 	}

@@ -1,13 +1,14 @@
-// Command whirlsim runs one benchmark under one (or every) LLC scheme on
-// the simulated 4-core NUCA chip and prints the resulting performance and
+// Command whirlsim runs one benchmark under one (or every) LLC scheme
+// on a simulated NUCA chip and prints the resulting performance and
 // data-movement energy report.
 //
 // Usage:
 //
-//	whirlsim -app delaunay                         # all six schemes
+//	whirlsim -app delaunay                         # all registered schemes
 //	whirlsim -app MIS -scheme whirlpool            # one scheme
+//	whirlsim -app mcf -chip 8x8:6                  # custom chip topology
 //	whirlsim -spec specs/phase-shift.json -app phaser
-//	whirlsim -list                                 # show available apps
+//	whirlsim -list                                 # show available apps and schemes
 package main
 
 import (
@@ -27,11 +28,14 @@ func fatal(err error) {
 
 func main() {
 	app := flag.String("app", "delaunay", "benchmark to run (see -list)")
-	scheme := flag.String("scheme", "", "scheme to run (default: all six)")
+	scheme := flag.String("scheme", "", "scheme to run (default: all; see -list)")
 	specFiles := flag.String("spec", "", "comma-separated workload-spec files to load (see docs/workload-specs.md)")
 	scale := flag.Float64("scale", 1.0, "workload length multiplier")
+	seed := flag.Uint64("seed", 0, "workload generation seed (0 = the published default)")
+	reconfig := flag.Uint64("reconfig", 0, "D-NUCA reconfiguration period in cycles (0 = default)")
+	chip := flag.String("chip", "", "chip topology: 4core, 16core, or WxH[:cores[:bankKB]]")
 	pools := flag.Int("auto", 0, "classify with WhirlTool into N pools (whirlpool scheme)")
-	list := flag.Bool("list", false, "list available apps and exit")
+	list := flag.Bool("list", false, "list available apps and schemes, then exit")
 	flag.Parse()
 
 	for _, path := range cliutil.SplitList(*specFiles) {
@@ -60,10 +64,31 @@ func main() {
 		for _, a := range whirlpool.ParallelApps() {
 			fmt.Println("  ", a)
 		}
+		fmt.Println("schemes:")
+		for _, s := range whirlpool.Schemes() {
+			fmt.Printf("   %s (%s)\n", s, whirlpool.SchemeLabel(s))
+		}
 		return
 	}
 
-	opt := &whirlpool.Options{Scale: *scale, AutoClassify: *pools}
+	opts := []whirlpool.Option{whirlpool.WithScale(*scale)}
+	if *seed != 0 {
+		opts = append(opts, whirlpool.WithSeed(*seed))
+	}
+	if *reconfig != 0 {
+		opts = append(opts, whirlpool.WithReconfigCycles(*reconfig))
+	}
+	if *pools > 0 {
+		opts = append(opts, whirlpool.WithAutoClassify(*pools))
+	}
+	if *chip != "" {
+		c, err := whirlpool.ParseChip(*chip)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, whirlpool.WithChip(c))
+	}
+
 	var schemes []whirlpool.Scheme
 	if *scheme != "" {
 		schemes = []whirlpool.Scheme{whirlpool.Scheme(*scheme)}
@@ -74,7 +99,7 @@ func main() {
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tcycles(M)\tIPC\tAPKI\tMPKI\thit%\tbyp%\tDME(mJ)\tnet\tbank\tmem")
 	for _, s := range schemes {
-		r, err := whirlpool.Run(*app, s, opt)
+		r, err := whirlpool.New(*app, s, opts...).Run()
 		if err != nil {
 			fatal(err)
 		}

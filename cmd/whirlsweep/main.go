@@ -13,13 +13,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"slices"
 	"strings"
+	"syscall"
 	"time"
 
 	"whirlpool/internal/cliutil"
@@ -40,6 +43,7 @@ func main() {
 	specFiles := flag.String("spec", "", "comma-separated workload-spec files to load")
 	mixFlag := flag.String("mix", "", "comma-separated mix names from -spec files, or 'all'")
 	scale := flag.Float64("scale", 1.0, "workload length multiplier")
+	seed := flag.Uint64("seed", 0, "workload generation seed (0 = the published default)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers")
 	format := flag.String("format", "table", "output format: table, csv, or json")
 	out := flag.String("o", "", "write results to this file (default: stdout)")
@@ -102,7 +106,9 @@ func main() {
 					if found[m.Name] {
 						fatal(fmt.Errorf("mix %q defined in more than one -spec file; rows would be ambiguous", m.Name))
 					}
-					cfg.Mixes = append(cfg.Mixes, experiments.SweepMix{Name: m.Name, Apps: m.Apps})
+					cfg.Mixes = append(cfg.Mixes, experiments.SweepMix{
+						Name: m.Name, Apps: m.Apps, Pins: m.Pins, Chip: m.BuildChip(),
+					})
 					found[m.Name] = true
 				}
 			}
@@ -144,11 +150,30 @@ func main() {
 		}
 	}
 
+	// Ctrl-C / SIGTERM cancel the sweep: in-flight cells finish, the
+	// rest are skipped, and completed rows are still written out.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	cfg.Context = ctx
+
 	h := experiments.NewHarness(*scale)
+	if *seed != 0 {
+		h.Seed = *seed
+	}
 	start := time.Now()
-	rows, err := h.Sweep(cfg)
-	if err != nil {
-		fatal(err)
+	rows, sweepErr := h.Sweep(cfg)
+	if sweepErr != nil && len(rows) == 0 {
+		fatal(sweepErr)
+	}
+	if sweepErr != nil {
+		// Canceled mid-sweep: keep only the cells that finished.
+		var completed []experiments.SweepRow
+		for _, r := range rows {
+			if r.Err != "canceled" {
+				completed = append(completed, r)
+			}
+		}
+		rows = completed
 	}
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "whirlsweep: %d cells in %.1fs with %d workers\n",
@@ -165,20 +190,25 @@ func main() {
 		w = f
 	}
 	// *format was validated before the sweep ran.
+	var writeErr error
 	switch *format {
 	case "table":
-		err = experiments.WriteRowsTable(w, rows)
+		writeErr = experiments.WriteRowsTable(w, rows)
 	case "csv":
-		err = experiments.WriteRowsCSV(w, rows)
+		writeErr = experiments.WriteRowsCSV(w, rows)
 	case "json":
-		err = experiments.WriteRowsJSON(w, rows)
+		writeErr = experiments.WriteRowsJSON(w, rows)
 	}
-	if err != nil {
-		fatal(err)
+	if writeErr != nil {
+		fatal(writeErr)
 	}
 
-	// A sweep that ran but produced failed cells should not look green
-	// to CI pipelines consuming the output.
+	// A sweep that ran but produced failed cells, or was canceled before
+	// finishing, should not look green to CI pipelines consuming the
+	// output.
+	if sweepErr != nil {
+		fatal(sweepErr)
+	}
 	for _, r := range rows {
 		if r.Err != "" {
 			fatal(fmt.Errorf("%d of %d cells failed (first: %s/%s: %s)",

@@ -19,9 +19,14 @@ func main() {
 	app := flag.String("app", "delaunay", "benchmark to classify")
 	pools := flag.Int("pools", 3, "number of pools to produce")
 	scale := flag.Float64("scale", 1.0, "profiling run length multiplier")
+	seed := flag.Uint64("seed", 0, "workload generation seed (0 = the published default)")
 	flag.Parse()
 
-	groups, err := whirlpool.AutoClassify(*app, *pools, &whirlpool.Options{Scale: *scale})
+	opts := []whirlpool.Option{whirlpool.WithScale(*scale)}
+	if *seed != 0 {
+		opts = append(opts, whirlpool.WithSeed(*seed))
+	}
+	groups, err := whirlpool.New(*app, whirlpool.Whirlpool, opts...).Classify(*pools)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "whirltool:", err)
 		os.Exit(1)
@@ -30,7 +35,7 @@ func main() {
 	for i, g := range groups {
 		fmt.Printf("  pool %d: %v\n", i+1, g)
 	}
-	dendro, err := whirlpool.Figure("fig17", &whirlpool.FigureOptions{Scale: *scale})
+	dendro, err := whirlpool.Figure("fig17", &whirlpool.FigureOptions{Scale: *scale, Seed: *seed})
 	if err == nil && (*app == "delaunay" || *app == "omnet") {
 		fmt.Println()
 		fmt.Println(dendro)

@@ -1,6 +1,9 @@
 // Quickstart: run the paper's flagship example — Delaunay triangulation
 // (dt) with its three manually classified pools — under S-NUCA, Jigsaw,
 // and Whirlpool, and print the headline comparison from Sec 2.1.
+//
+// Experiments are built with whirlpool.New and functional options (see
+// docs/api.md); an observer streams each report as it lands.
 package main
 
 import (
@@ -10,33 +13,29 @@ import (
 )
 
 func main() {
-	opt := &whirlpool.Options{Scale: 0.5}
-
 	fmt.Println("dt (Delaunay triangulation) on the 4-core, 25-bank NUCA chip")
 	fmt.Println()
 
-	snuca, err := whirlpool.Run("delaunay", whirlpool.SNUCALRU, opt)
-	check(err)
-	jigsaw, err := whirlpool.Run("delaunay", whirlpool.Jigsaw, opt)
-	check(err)
-	whirl, err := whirlpool.Run("delaunay", whirlpool.Whirlpool, opt)
-	check(err)
-
-	for _, r := range []whirlpool.Report{snuca, jigsaw, whirl} {
+	print := whirlpool.WithObserver(func(r whirlpool.Report) {
 		fmt.Printf("%-12s  cycles=%.1fM  IPC=%.3f  energy=%.2fmJ (net %.2f, bank %.2f, mem %.2f)\n",
 			r.Scheme, r.Cycles/1e6, r.IPC, r.EnergyPJ/1e9,
 			r.NetworkEnergyPJ/1e9, r.BankEnergyPJ/1e9, r.MemoryEnergyPJ/1e9)
+	})
+	run := func(s whirlpool.Scheme) whirlpool.Report {
+		r, err := whirlpool.New("delaunay", s, whirlpool.WithScale(0.5), print).Run()
+		if err != nil {
+			panic(err)
+		}
+		return r
 	}
+	snuca := run(whirlpool.SNUCALRU)
+	jigsaw := run(whirlpool.Jigsaw)
+	whirl := run(whirlpool.Whirlpool)
+
 	fmt.Println()
 	fmt.Printf("Whirlpool vs S-NUCA: %+.1f%% performance, %+.1f%% data-movement energy\n",
 		100*(snuca.Cycles/whirl.Cycles-1), 100*(whirl.EnergyPJ/snuca.EnergyPJ-1))
 	fmt.Printf("Whirlpool vs Jigsaw: %+.1f%% performance, %+.1f%% data-movement energy\n",
 		100*(jigsaw.Cycles/whirl.Cycles-1), 100*(whirl.EnergyPJ/jigsaw.EnergyPJ-1))
 	fmt.Println("\npaper (Sec 2.1): +19% / -42% vs S-NUCA, +15% / -27% vs Jigsaw")
-}
-
-func check(err error) {
-	if err != nil {
-		panic(err)
-	}
 }

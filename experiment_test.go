@@ -1,0 +1,258 @@
+// Builder-API tests: the composable Experiment surface, the scheme
+// registry's end-to-end path, chip topologies, and the harness cache
+// contract.
+package whirlpool_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"whirlpool"
+	"whirlpool/internal/cache"
+	"whirlpool/internal/llc"
+	"whirlpool/internal/schemes"
+)
+
+// The builder with default options must produce bit-identical reports
+// to the legacy Run shim (which itself routes through the builder, so
+// this also pins harness-cache stability across both paths).
+func TestBuilderMatchesLegacyRun(t *testing.T) {
+	legacy, err := whirlpool.Run("mcf", whirlpool.Whirlpool, &whirlpool.Options{Scale: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := whirlpool.New("mcf", whirlpool.Whirlpool, whirlpool.WithScale(0.05)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy != built {
+		t.Fatalf("builder report differs from legacy:\n%+v\n%+v", legacy, built)
+	}
+}
+
+func TestBuilderOptionErrorsDeferred(t *testing.T) {
+	if _, err := whirlpool.New("mcf", whirlpool.Jigsaw, whirlpool.WithScale(-1)).Run(); err == nil {
+		t.Fatal("negative scale did not error")
+	}
+	if _, err := whirlpool.New("mcf", whirlpool.Jigsaw, whirlpool.WithAutoClassify(0)).Run(); err == nil {
+		t.Fatal("zero-pool auto-classify did not error")
+	}
+	if _, err := whirlpool.New("mcf", whirlpool.Jigsaw, whirlpool.WithReconfigCycles(0)).Run(); err == nil {
+		t.Fatal("zero reconfig period did not error")
+	}
+	if _, err := whirlpool.New("mcf", whirlpool.Jigsaw,
+		whirlpool.WithChip(whirlpool.Mesh(100, 2))).Run(); err == nil {
+		t.Fatal("oversized mesh did not error")
+	}
+}
+
+// The acceptance test for the open scheme registry: a scheme registered
+// from outside internal/schemes runs end-to-end through Experiment.Run
+// and shows up in the public scheme list (which whirlsim -list and
+// whirlsweep -schemes render).
+func TestExternalSchemeEndToEnd(t *testing.T) {
+	const id = "ext-snuca-lru"
+	if err := schemes.Register(id, "ExtLRU", func(o schemes.Options) llc.LLC {
+		return schemes.NewSNUCA(o.Chip, o.Meter, cache.LRU)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	seen := false
+	for _, s := range whirlpool.Schemes() {
+		if s == whirlpool.Scheme(id) {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatalf("%q missing from whirlpool.Schemes()", id)
+	}
+	if whirlpool.SchemeLabel(whirlpool.Scheme(id)) != "ExtLRU" {
+		t.Fatalf("label = %q", whirlpool.SchemeLabel(whirlpool.Scheme(id)))
+	}
+	ext, err := whirlpool.New("delaunay", whirlpool.Scheme(id), whirlpool.WithScale(0.05)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clone is built exactly like the built-in S-NUCA-LRU, so the
+	// simulation must agree number for number.
+	ref, err := whirlpool.New("delaunay", whirlpool.SNUCALRU, whirlpool.WithScale(0.05)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Cycles != ref.Cycles || ext.Hits != ref.Hits || ext.Misses != ref.Misses {
+		t.Fatalf("external clone diverged from built-in: %+v vs %+v", ext, ref)
+	}
+}
+
+func TestCustomChipTopology(t *testing.T) {
+	r, err := whirlpool.New("delaunay", whirlpool.SNUCALRU,
+		whirlpool.WithScale(0.05),
+		whirlpool.WithChip(whirlpool.Mesh(6, 4).Cores(4)),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LLCAccesses == 0 || r.Cycles <= 0 {
+		t.Fatalf("empty run on custom chip: %+v", r)
+	}
+	// A tiny LLC must miss more than the paper's 25-bank chip.
+	big, err := whirlpool.New("delaunay", whirlpool.SNUCALRU, whirlpool.WithScale(0.05)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := whirlpool.New("delaunay", whirlpool.SNUCALRU,
+		whirlpool.WithScale(0.05),
+		whirlpool.WithChip(whirlpool.Mesh(2, 2).BankKB(64)),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Misses <= big.Misses {
+		t.Fatalf("2x2/64KB chip misses (%d) should exceed the 5x5/512KB chip's (%d)",
+			small.Misses, big.Misses)
+	}
+}
+
+func TestChipPresetsAndParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int // cores
+	}{
+		{"4core", 4}, {"16core", 16}, {"16core:1024", 16},
+		{"8x8", 4}, {"8x8:6", 6}, {"8x8:6:1024", 6},
+	} {
+		c, err := whirlpool.ParseChip(tc.in)
+		if err != nil {
+			t.Fatalf("ParseChip(%q): %v", tc.in, err)
+		}
+		if c.NCores() != tc.want {
+			t.Fatalf("ParseChip(%q).NCores() = %d, want %d", tc.in, c.NCores(), tc.want)
+		}
+		// String must round-trip through ParseChip.
+		if _, err := whirlpool.ParseChip(c.String()); err != nil {
+			t.Fatalf("round trip of %q via %q: %v", tc.in, c.String(), err)
+		}
+	}
+	// Strict parsing: trailing garbage and non-positive fields are
+	// errors, never silent defaults.
+	for _, bad := range []string{
+		"bogus", "1x1", "8x8:0:32", "8x8:999", "8x8garbage", "8x8:0",
+		"8x8:-2", "8x8:6:1024junk", "8x8:6:0", "8x8:6:1024:9", "4core:32", "4core:8:512",
+	} {
+		if _, err := whirlpool.ParseChip(bad); err == nil {
+			t.Fatalf("ParseChip(%q) accepted bad topology", bad)
+		}
+	}
+}
+
+func TestWithSeedChangesWorkload(t *testing.T) {
+	a, err := whirlpool.New("mcf", whirlpool.SNUCALRU, whirlpool.WithScale(0.05)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := whirlpool.New("mcf", whirlpool.SNUCALRU,
+		whirlpool.WithScale(0.05), whirlpool.WithSeed(12345)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == b.Cycles && a.Hits == b.Hits && a.Misses == b.Misses {
+		t.Fatal("different seeds produced identical runs: the harness cache is not keyed on seed")
+	}
+	// Same seed again: the cached harness must reproduce exactly.
+	b2, err := whirlpool.New("mcf", whirlpool.SNUCALRU,
+		whirlpool.WithScale(0.05), whirlpool.WithSeed(12345)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != b2 {
+		t.Fatalf("same-seed rerun diverged:\n%+v\n%+v", b, b2)
+	}
+}
+
+func TestWithReconfigCyclesKeyed(t *testing.T) {
+	a, err := whirlpool.New("lbm", whirlpool.Whirlpool, whirlpool.WithScale(0.05)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := whirlpool.New("lbm", whirlpool.Whirlpool,
+		whirlpool.WithScale(0.05), whirlpool.WithReconfigCycles(250_000)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles == b.Cycles {
+		t.Fatal("a 8x shorter reconfig period changed nothing: the harness cache ignores it")
+	}
+}
+
+func TestWithContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := whirlpool.New("mcf", whirlpool.Jigsaw,
+		whirlpool.WithScale(0.05), whirlpool.WithContext(ctx)).Run(); err == nil {
+		t.Fatal("canceled context did not abort the run")
+	}
+}
+
+func TestWithObserverStreams(t *testing.T) {
+	var seen []whirlpool.Report
+	e := whirlpool.New("delaunay", whirlpool.Whirlpool,
+		whirlpool.WithScale(0.05),
+		whirlpool.WithObserver(func(r whirlpool.Report) { seen = append(seen, r) }))
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 1 || seen[0] != r {
+		t.Fatalf("observer saw %d reports, want exactly the returned one", len(seen))
+	}
+	seen = nil
+	m, err := e.Compare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(m) {
+		t.Fatalf("observer saw %d reports for a %d-scheme compare", len(seen), len(m))
+	}
+}
+
+// Satellite: registering a spec that redefines an already-run app must
+// invalidate the cached trace, so the redefinition takes effect.
+func TestSpecReloadInvalidatesHarnessCache(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, accesses int) string {
+		path := filepath.Join(dir, name)
+		data := []byte(`{
+  "version": 1,
+  "apps": [{
+    "name": "reloadtest",
+    "accesses": ` + strconv.Itoa(accesses) + `,
+    "structs": [{"name": "buf", "bytes": "1MB", "pattern": "seq"}]
+  }]
+}`)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	if _, err := whirlpool.LoadSpecFile(write("v1.json", 200_000)); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := whirlpool.New("reloadtest", whirlpool.SNUCALRU).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Redefine the app with twice the work, after it has already run.
+	if _, err := whirlpool.LoadSpecFile(write("v2.json", 400_000)); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := whirlpool.New("reloadtest", whirlpool.SNUCALRU).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Instrs <= r1.Instrs {
+		t.Fatalf("redefinition ignored: instrs %v -> %v (stale cached trace)", r1.Instrs, r2.Instrs)
+	}
+}

@@ -16,6 +16,9 @@ type FigureOptions struct {
 	Apps []string
 	// Mixes is the mix count for Fig 22 (default 20, as in the paper).
 	Mixes int
+	// Seed overrides the workload-generation seed (0 = the published
+	// default).
+	Seed uint64
 }
 
 // Figures lists the regenerable table/figure ids.
@@ -47,7 +50,7 @@ func Figure(id string, opt *FigureOptions) (string, error) {
 	if apps == nil {
 		apps = workloads.BuiltinNames()
 	}
-	h := harnessFor(o.Scale)
+	h := harnessFor(harnessKey{scale: o.Scale, seed: o.Seed})
 	switch id {
 	case "fig2":
 		return h.Fig02().String(), nil

@@ -245,7 +245,7 @@ func (h *Harness) SchemeBreakdown(app, figure string) *Table {
 	}
 	results := make(map[schemes.Kind]*sim.Result)
 	at := h.App(app)
-	for _, k := range schemes.AllKinds() {
+	for _, k := range schemes.PaperKinds() {
 		opt := RunOptions{}
 		if k == schemes.KindWhirlpool && len(at.W.Spec.ManualPools) == 0 {
 			// Apps the paper never ported manually (e.g., SA) get their
@@ -255,7 +255,7 @@ func (h *Harness) SchemeBreakdown(app, figure string) *Table {
 		results[k] = h.RunSingle(app, k, opt)
 	}
 	base := results[schemes.KindWhirlpool]
-	for _, k := range schemes.AllKinds() {
+	for _, k := range schemes.PaperKinds() {
 		r := results[k]
 		d := float64(r.Demand)
 		t.AddRow(k.String(),

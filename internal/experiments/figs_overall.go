@@ -87,7 +87,7 @@ func (h *Harness) Fig21(apps []string) (*Table, map[schemes.Kind][]*sim.Result) 
 	all := make(map[schemes.Kind][]*sim.Result)
 	for _, app := range apps {
 		grouping := h.WhirlToolGrouping(app, 3, true)
-		for _, k := range schemes.AllKinds() {
+		for _, k := range schemes.PaperKinds() {
 			opt := RunOptions{}
 			if k == schemes.KindWhirlpool {
 				opt.Grouping = grouping
@@ -105,7 +105,7 @@ func (h *Harness) Fig21(apps []string) (*Table, map[schemes.Kind][]*sim.Result) 
 	for _, r := range base {
 		baseEnergy += r.Energy.Total()
 	}
-	for _, k := range schemes.AllKinds() {
+	for _, k := range schemes.PaperKinds() {
 		rs := all[k]
 		ratios := make([]float64, len(rs))
 		var eTot, eNet, eBank, eMem float64

@@ -25,6 +25,10 @@ import (
 // cycle period yields a comparable number of reconfigurations per run).
 const DefaultReconfigCycles = 2_000_000
 
+// DefaultSeed drives workload generation when no seed is configured;
+// every published number in the repo uses it.
+const DefaultSeed = 0xC0FFEE
+
 // Harness caches built workloads and filtered traces so each app is
 // generated and private-filtered once per process, then replayed against
 // every scheme. The cache is a per-app once: concurrent callers (the
@@ -59,8 +63,21 @@ func NewHarness(scale float64) *Harness {
 	return &Harness{
 		Scale:          scale,
 		ReconfigCycles: DefaultReconfigCycles,
-		Seed:           0xC0FFEE,
+		Seed:           DefaultSeed,
 		cache:          make(map[string]*appEntry),
+	}
+}
+
+// Invalidate drops the cached trace for each named app, so the next run
+// rebuilds it from the current workload registry. Call it after
+// registering a spec that redefines an already-run app; harmless for
+// names never run (or never known) here. Runs already in flight keep
+// the trace they resolved.
+func (h *Harness) Invalidate(names ...string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, n := range names {
+		delete(h.cache, n)
 	}
 }
 
@@ -205,10 +222,28 @@ func offsetTrace(t *trace.LLCTrace, core int) *trace.LLCTrace {
 
 // RunMix runs one app per core under the fixed-work methodology
 // (Appendix A): every app keeps running until all finish one pass; stats
-// freeze at each app's first completion.
+// freeze at each app's first completion. App i runs on core i; use
+// RunMixPinned to place apps on specific cores.
 func (h *Harness) RunMix(apps []string, kind schemes.Kind, chip *noc.Chip, noBypass bool) *sim.Result {
+	return h.RunMixPinned(apps, nil, kind, chip, noBypass)
+}
+
+// RunMixPinned is RunMix with explicit core placement: app i runs on
+// core pins[i]. Pins must be distinct and within the chip's core count;
+// nil means the identity placement (app i on core i). Per-core results
+// land at the pinned core's index in Result.Cores.
+func (h *Harness) RunMixPinned(apps []string, pins []int, kind schemes.Kind, chip *noc.Chip, noBypass bool) *sim.Result {
 	if len(apps) > chip.NCores() {
 		panic("experiments: more apps than cores")
+	}
+	if pins == nil {
+		pins = make([]int, len(apps))
+		for i := range pins {
+			pins[i] = i
+		}
+	}
+	if len(pins) != len(apps) {
+		panic(fmt.Sprintf("experiments: %d pins for %d apps", len(pins), len(apps)))
 	}
 	meter := &energy.Meter{}
 
@@ -218,15 +253,22 @@ func (h *Harness) RunMix(apps []string, kind schemes.Kind, chip *noc.Chip, noByp
 		w       *workloads.Workload
 		cpPools map[mem.Callpoint]mem.PoolID
 	}
-	ctxs := make([]appCtx, len(apps))
+	ctxs := make([]appCtx, chip.NCores())
 	traces := make([]*trace.LLCTrace, chip.NCores())
-	for c, name := range apps {
+	for i, name := range apps {
+		c := pins[i]
+		if c < 0 || c >= chip.NCores() {
+			panic(fmt.Sprintf("experiments: pin %d outside the chip's %d cores", c, chip.NCores()))
+		}
+		if traces[c] != nil {
+			panic(fmt.Sprintf("experiments: two apps pinned to core %d", c))
+		}
 		at := h.App(name)
 		ctxs[c] = appCtx{w: at.W, cpPools: at.W.CallpointPools(at.W.ManualGrouping())}
 		traces[c] = offsetTrace(at.Tr, c)
 	}
 	whirlpoolClassify := func(core int, line addr.Line) llc.VCKey {
-		if core >= len(ctxs) {
+		if core >= len(ctxs) || ctxs[core].w == nil {
 			return llc.VCKey{Core: int16(core)}
 		}
 		orig := line - mixLineOffset(core)

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -18,6 +19,11 @@ import (
 type SweepMix struct {
 	Name string
 	Apps []string
+	// Pins places app i on core Pins[i]; nil means app i on core i.
+	Pins []int
+	// Chip overrides the default topology (4-core chip for up to 4
+	// apps, 16-core beyond).
+	Chip *noc.Chip
 }
 
 // SweepConfig describes an app × scheme grid to fan out across workers.
@@ -25,10 +31,10 @@ type SweepConfig struct {
 	// Apps are single-app jobs (run on core 0 of the 4-core chip).
 	Apps []string
 	// Mixes are multi-app jobs (4-core chip up to 4 apps, 16-core up
-	// to 16).
+	// to 16, or each mix's own Chip).
 	Mixes []SweepMix
 	// Kinds are the schemes to cross with every app and mix; nil means
-	// all six.
+	// every registered scheme.
 	Kinds []schemes.Kind
 	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
 	Workers int
@@ -37,6 +43,10 @@ type SweepConfig struct {
 	// OnRow, if set, observes each finished row (progress reporting).
 	// It is called from worker goroutines, serialized by the engine.
 	OnRow func(done, total int, row SweepRow)
+	// Context, if set, cancels the sweep: in-flight cells finish, cells
+	// not yet started are marked with Err "canceled", and Sweep returns
+	// the context's error alongside the partial rows.
+	Context context.Context
 }
 
 // SweepRow is one (app-or-mix, scheme) cell of a sweep's result grid.
@@ -97,12 +107,35 @@ type sweepJob struct {
 	kind schemes.Kind
 }
 
+// mixChip resolves the topology a mix runs on: its own Chip if set,
+// else the paper's 4-core chip when the apps and pins fit, else the
+// 16-core chip.
+func mixChip(m *SweepMix) *noc.Chip {
+	if m.Chip != nil {
+		return m.Chip
+	}
+	need := len(m.Apps)
+	for _, p := range m.Pins {
+		if p+1 > need {
+			need = p + 1
+		}
+	}
+	if need <= 4 {
+		return noc.FourCoreChip()
+	}
+	return noc.SixteenCoreChip()
+}
+
 // Sweep fans the app × scheme grid out across a worker pool and returns
 // one row per cell, in deterministic grid order (apps first, then
 // mixes; schemes in the given order). Each app's trace is generated and
 // private-filtered once and shared read-only by every scheme's run, so
 // results are bit-identical to serial RunSingle/RunMix calls.
 func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	kinds := cfg.Kinds
 	if len(kinds) == 0 {
 		kinds = schemes.AllKinds()
@@ -117,9 +150,26 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 	for _, a := range cfg.Apps {
 		needed[a] = true
 	}
-	for _, m := range cfg.Mixes {
-		if len(m.Apps) == 0 || len(m.Apps) > 16 {
-			return nil, fmt.Errorf("experiments: mix %q has %d apps (want 1..16)", m.Name, len(m.Apps))
+	for i := range cfg.Mixes {
+		m := &cfg.Mixes[i]
+		cores := mixChip(m).NCores()
+		if len(m.Apps) == 0 || len(m.Apps) > cores {
+			return nil, fmt.Errorf("experiments: mix %q has %d apps (want 1..%d)", m.Name, len(m.Apps), cores)
+		}
+		if m.Pins != nil {
+			if len(m.Pins) != len(m.Apps) {
+				return nil, fmt.Errorf("experiments: mix %q has %d pins for %d apps", m.Name, len(m.Pins), len(m.Apps))
+			}
+			seen := map[int]bool{}
+			for _, p := range m.Pins {
+				if p < 0 || p >= cores {
+					return nil, fmt.Errorf("experiments: mix %q pins core %d (chip has %d cores)", m.Name, p, cores)
+				}
+				if seen[p] {
+					return nil, fmt.Errorf("experiments: mix %q pins core %d twice", m.Name, p)
+				}
+				seen[p] = true
+			}
 		}
 		for _, a := range m.Apps {
 			needed[a] = true
@@ -158,6 +208,9 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 		go func() {
 			defer wg.Done()
 			for a := range prefetch {
+				if ctx.Err() != nil {
+					continue // drain without building
+				}
 				_, _ = h.AppErr(a)
 			}
 		}()
@@ -189,17 +242,29 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rows[i] = h.runSweepJob(jobs[i], cfg.NoBypass)
-				if cfg.OnRow != nil {
-					progressMu.Lock()
-					done++
-					cfg.OnRow(done, len(jobs), rows[i])
-					progressMu.Unlock()
+				if ctx.Err() != nil {
+					name := jobs[i].app
+					if jobs[i].mix != nil {
+						name = jobs[i].mix.Name
+					}
+					rows[i] = SweepRow{App: name, Scheme: jobs[i].kind.ID(),
+						Mix: jobs[i].mix != nil, Err: "canceled"}
+					continue
 				}
+				rows[i] = h.runSweepJob(jobs[i], cfg.NoBypass)
+				progressMu.Lock()
+				done++
+				if cfg.OnRow != nil {
+					cfg.OnRow(done, len(jobs), rows[i])
+				}
+				progressMu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return rows, fmt.Errorf("experiments: sweep canceled after %d of %d cells: %w", done, len(jobs), err)
+	}
 	return rows, nil
 }
 
@@ -218,11 +283,7 @@ func (h *Harness) runSweepJob(j sweepJob, noBypass bool) (row SweepRow) {
 	start := time.Now()
 	var r *sim.Result
 	if j.mix != nil {
-		chip := noc.FourCoreChip()
-		if len(j.mix.Apps) > chip.NCores() {
-			chip = noc.SixteenCoreChip()
-		}
-		r = h.RunMix(j.mix.Apps, j.kind, chip, noBypass)
+		r = h.RunMixPinned(j.mix.Apps, j.mix.Pins, j.kind, mixChip(j.mix), noBypass)
 	} else {
 		r = h.RunSingle(j.app, j.kind, RunOptions{NoBypass: noBypass})
 	}

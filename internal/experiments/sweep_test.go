@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -151,6 +152,148 @@ func TestSweepWriters(t *testing.T) {
 	}
 	if !strings.Contains(tableBuf.String(), "delaunay") {
 		t.Errorf("unexpected table:\n%s", tableBuf.String())
+	}
+}
+
+// A canceled context aborts the sweep before any trace is built and
+// marks unrun cells.
+func TestSweepCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	h := NewHarness(0.05)
+	rows, err := h.Sweep(SweepConfig{
+		Apps:    []string{"delaunay", "MIS"},
+		Context: ctx,
+	})
+	if err == nil {
+		t.Fatal("canceled sweep returned no error")
+	}
+	if h.TraceBuilds() != 0 {
+		t.Errorf("canceled sweep built %d traces, want 0", h.TraceBuilds())
+	}
+	for _, r := range rows {
+		if r.Err != "canceled" {
+			t.Fatalf("unrun cell not marked canceled: %+v", r)
+		}
+	}
+}
+
+// Canceling mid-sweep keeps the finished rows and skips the rest.
+func TestSweepCanceledMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	h := NewHarness(0.05)
+	rows, err := h.Sweep(SweepConfig{
+		Apps:    []string{"delaunay", "MIS", "mcf"},
+		Kinds:   []schemes.Kind{schemes.KindSNUCALRU, schemes.KindSNUCADRRIP},
+		Workers: 1,
+		Context: ctx,
+		OnRow:   func(done, total int, row SweepRow) { cancel() },
+	})
+	if err == nil {
+		t.Fatal("canceled sweep returned no error")
+	}
+	var finished, canceled int
+	for _, r := range rows {
+		switch r.Err {
+		case "":
+			finished++
+		case "canceled":
+			canceled++
+		default:
+			t.Fatalf("unexpected cell error: %+v", r)
+		}
+	}
+	if finished == 0 || canceled == 0 {
+		t.Fatalf("mid-sweep cancel: %d finished, %d canceled; want both nonzero", finished, canceled)
+	}
+}
+
+// Pinned mixes place each app's stats at its pinned core and agree with
+// the identity placement run on the same cores' apps.
+func TestSweepPinnedMix(t *testing.T) {
+	h := NewHarness(0.05)
+	mix := SweepMix{
+		Name: "pinned",
+		Apps: []string{"delaunay", "MIS"},
+		Pins: []int{3, 0},
+	}
+	rows, err := h.Sweep(SweepConfig{
+		Mixes: []SweepMix{mix},
+		Kinds: []schemes.Kind{schemes.KindWhirlpool},
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Err != "" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	serial := NewHarness(0.05)
+	r := serial.RunMixPinned(mix.Apps, mix.Pins, schemes.KindWhirlpool, noc.FourCoreChip(), false)
+	if rows[0].Cycles != r.Cycles || rows[0].Hits != r.Hits {
+		t.Fatalf("sweep row %+v != serial pinned run cycles=%d hits=%d", rows[0], r.Cycles, r.Hits)
+	}
+	// delaunay was pinned to core 3, MIS to core 0.
+	if r.Cores[3].Instrs == 0 || r.Cores[0].Instrs == 0 {
+		t.Fatal("no stats at the pinned cores")
+	}
+	if r.Cores[1].Instrs != 0 || r.Cores[2].Instrs != 0 {
+		t.Fatal("stats appeared at unpinned cores")
+	}
+}
+
+// Pins spilling past 4 cores promote the mix onto the 16-core chip.
+func TestSweepPinsPromoteChip(t *testing.T) {
+	m := &SweepMix{Apps: []string{"a", "b"}, Pins: []int{0, 12}}
+	if got := mixChip(m).NCores(); got != 16 {
+		t.Fatalf("pin 12 resolved a %d-core chip, want 16", got)
+	}
+	m = &SweepMix{Apps: []string{"a", "b"}}
+	if got := mixChip(m).NCores(); got != 4 {
+		t.Fatalf("2-app mix resolved a %d-core chip, want 4", got)
+	}
+}
+
+// Invalid pins fail sweep validation up front, before trace building.
+func TestSweepPinValidation(t *testing.T) {
+	h := NewHarness(0.05)
+	bad := []SweepMix{
+		{Name: "short", Apps: []string{"delaunay", "MIS"}, Pins: []int{0}},
+		{Name: "dup", Apps: []string{"delaunay", "MIS"}, Pins: []int{1, 1}},
+		{Name: "range", Apps: []string{"delaunay", "MIS"}, Pins: []int{0, 99}},
+	}
+	for _, m := range bad {
+		if _, err := h.Sweep(SweepConfig{Mixes: []SweepMix{m}}); err == nil {
+			t.Fatalf("mix %q with bad pins passed validation", m.Name)
+		}
+	}
+	if h.TraceBuilds() != 0 {
+		t.Errorf("validation built %d traces, want 0", h.TraceBuilds())
+	}
+}
+
+// A mix with its own chip runs on it.
+func TestSweepMixChipOverride(t *testing.T) {
+	h := NewHarness(0.05)
+	chip := noc.Custom(6, 6, 6, 0)
+	rows, err := h.Sweep(SweepConfig{
+		Mixes: []SweepMix{{
+			Name: "hexa",
+			Apps: []string{"delaunay", "MIS", "mcf", "lbm", "hull", "cactus"},
+			Chip: chip,
+		}},
+		Kinds: []schemes.Kind{schemes.KindSNUCALRU},
+	})
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Err != "" {
+		t.Fatalf("rows = %+v", rows)
+	}
+	serial := NewHarness(0.05)
+	r := serial.RunMix([]string{"delaunay", "MIS", "mcf", "lbm", "hull", "cactus"},
+		schemes.KindSNUCALRU, noc.Custom(6, 6, 6, 0), false)
+	if rows[0].Cycles != r.Cycles {
+		t.Fatalf("sweep on custom chip %+v != serial cycles=%d", rows[0], r.Cycles)
 	}
 }
 

@@ -1,6 +1,10 @@
 package noc
 
-import "whirlpool/internal/addr"
+import (
+	"fmt"
+
+	"whirlpool/internal/addr"
+)
 
 // Table 3 latency parameters shared by all LLC organizations.
 const (
@@ -33,6 +37,46 @@ func (c *Chip) TotalLines() uint64 { return c.BankLines() * uint64(c.NBanks()) }
 
 // TotalBytes returns the whole LLC's capacity in bytes.
 func (c *Chip) TotalBytes() uint64 { return c.BankBytes * uint64(c.NBanks()) }
+
+// Custom-chip limits shared by every surface that builds topologies
+// (the public Chip type, spec files, the CLIs).
+const (
+	// MinMeshSide / MaxMeshSide bound custom mesh dimensions.
+	MinMeshSide = 2
+	MaxMeshSide = 64
+	// MinBankBytes is the smallest supported LLC bank.
+	MinBankBytes = 64 * addr.KB
+)
+
+// ValidateCustom checks custom chip parameters without building the
+// chip. bankBytes 0 means the 512KB default. This is the single home
+// of the custom-topology rules; Custom enforces it.
+func ValidateCustom(w, h, nCores int, bankBytes uint64) error {
+	if bankBytes != 0 && bankBytes < MinBankBytes {
+		return fmt.Errorf("noc: bank size %dB out of range (want >= %dKB)", bankBytes, MinBankBytes/addr.KB)
+	}
+	if w < MinMeshSide || h < MinMeshSide || w > MaxMeshSide || h > MaxMeshSide {
+		return fmt.Errorf("noc: mesh %dx%d out of range (want %d..%d per side)", w, h, MinMeshSide, MaxMeshSide)
+	}
+	if max := MaxBorderCores(w, h); nCores < 1 || nCores > max {
+		return fmt.Errorf("noc: %d cores do not fit a %dx%d mesh border (max %d)", nCores, w, h, max)
+	}
+	return nil
+}
+
+// Custom builds a w×h-bank chip with nCores border-attached cores and
+// the given per-bank capacity (0 = the paper's 512KB banks). It is the
+// constructor behind the public API's first-class chip topologies and
+// panics on parameters ValidateCustom rejects.
+func Custom(w, h, nCores int, bankBytes uint64) *Chip {
+	if err := ValidateCustom(w, h, nCores, bankBytes); err != nil {
+		panic(err.Error())
+	}
+	if bankBytes == 0 {
+		bankBytes = 512 * addr.KB
+	}
+	return &Chip{Mesh: BorderMesh(w, h, nCores), BankBytes: bankBytes}
+}
 
 // FourCoreChip is the 4-core, 25-bank, 512KB/bank chip of Fig 1
 // (3.1MB/core).

@@ -18,11 +18,11 @@ const (
 // Coord is a mesh coordinate (column x, row y).
 type Coord struct{ X, Y int }
 
-// Mesh is a k×k array of LLC banks with cores and memory controllers
+// Mesh is a W×H array of LLC banks with cores and memory controllers
 // attached at fixed coordinates. All fields are immutable after New.
 type Mesh struct {
-	K       int     // mesh dimension: K×K banks
-	NBanks  int     // K*K
+	W, H    int     // mesh dimensions: W columns × H rows of banks
+	NBanks  int     // W*H
 	Cores   []Coord // attachment point of each core
 	MemCtls []Coord // attachment point of each memory controller
 
@@ -40,10 +40,10 @@ type Mesh struct {
 }
 
 // BankCoord returns the mesh coordinate of bank b (row-major).
-func (m *Mesh) BankCoord(b int) Coord { return Coord{b % m.K, b / m.K} }
+func (m *Mesh) BankCoord(b int) Coord { return Coord{b % m.W, b / m.W} }
 
 // BankID returns the bank id at coordinate c.
-func (m *Mesh) BankID(c Coord) int { return c.Y*m.K + c.X }
+func (m *Mesh) BankID(c Coord) int { return c.Y*m.W + c.X }
 
 // Hops returns the X-Y routing hop count between two coordinates.
 func Hops(a, b Coord) int {
@@ -66,11 +66,17 @@ func HopLatency(h int) uint64 {
 	return uint64(h*LinkCycles + (h+1)*RouterCycles)
 }
 
-// New builds a mesh with the given dimension and attachment points.
+// New builds a square k×k mesh with the given attachment points.
 func New(k int, cores, memCtls []Coord) *Mesh {
+	return NewRect(k, k, cores, memCtls)
+}
+
+// NewRect builds a w×h mesh with the given attachment points.
+func NewRect(w, h int, cores, memCtls []Coord) *Mesh {
 	m := &Mesh{
-		K:       k,
-		NBanks:  k * k,
+		W:       w,
+		H:       h,
+		NBanks:  w * h,
 		Cores:   append([]Coord(nil), cores...),
 		MemCtls: append([]Coord(nil), memCtls...),
 	}
@@ -157,6 +163,58 @@ func (m *Mesh) AvgLatencyNearest(c, n int) float64 {
 		sum += float64(2 * HopLatency(m.coreBankHops[c][order[i]]))
 	}
 	return sum / float64(n)
+}
+
+// borderCoords lists the border cells of a w×h mesh clockwise from the
+// top-left corner: top row left→right, right column top→bottom, bottom
+// row right→left, left column bottom→top.
+func borderCoords(w, h int) []Coord {
+	out := make([]Coord, 0, 2*(w+h)-4)
+	for x := 0; x < w; x++ {
+		out = append(out, Coord{x, 0})
+	}
+	for y := 1; y < h; y++ {
+		out = append(out, Coord{w - 1, y})
+	}
+	for x := w - 2; x >= 0; x-- {
+		out = append(out, Coord{x, h - 1})
+	}
+	for y := h - 2; y >= 1; y-- {
+		out = append(out, Coord{0, y})
+	}
+	return out
+}
+
+// MaxBorderCores returns how many cores a w×h mesh can attach (one per
+// border cell).
+func MaxBorderCores(w, h int) int { return 2*(w+h) - 4 }
+
+// BorderMesh builds a w×h mesh with nCores cores spread evenly around
+// the border (clockwise from the top-left corner) and memory
+// controllers at the edge midpoints: one controller (right edge middle)
+// for chips of up to 4 cores, four (one per edge) beyond that,
+// mirroring the paper's 4- and 16-core configurations. It is the
+// deterministic placement behind custom chip topologies; the paper's
+// exact chips remain FourCoreMesh and SixteenCoreMesh.
+func BorderMesh(w, h, nCores int) *Mesh {
+	if w < 2 || h < 2 {
+		panic("noc: BorderMesh needs at least a 2x2 mesh")
+	}
+	border := borderCoords(w, h)
+	if nCores < 1 || nCores > len(border) {
+		panic("noc: BorderMesh core count must be in 1..2(w+h)-4")
+	}
+	cores := make([]Coord, nCores)
+	for i := range cores {
+		cores[i] = border[i*len(border)/nCores]
+	}
+	var mem []Coord
+	if nCores <= 4 {
+		mem = []Coord{{w - 1, h / 2}}
+	} else {
+		mem = []Coord{{w / 2, 0}, {w - 1, h / 2}, {w / 2, h - 1}, {0, h / 2}}
+	}
+	return NewRect(w, h, cores, mem)
 }
 
 // FourCoreMesh returns the 4-core, 5×5-bank chip of Fig 1: cores attached

@@ -29,8 +29,8 @@ func TestHopLatency(t *testing.T) {
 
 func TestFourCoreMeshGeometry(t *testing.T) {
 	m := FourCoreMesh()
-	if m.K != 5 || m.NBanks != 25 {
-		t.Fatalf("bad mesh: K=%d banks=%d", m.K, m.NBanks)
+	if m.W != 5 || m.H != 5 || m.NBanks != 25 {
+		t.Fatalf("bad mesh: W=%d H=%d banks=%d", m.W, m.H, m.NBanks)
 	}
 	if len(m.Cores) != 4 {
 		t.Fatalf("want 4 cores, got %d", len(m.Cores))
@@ -39,8 +39,8 @@ func TestFourCoreMeshGeometry(t *testing.T) {
 
 func TestSixteenCoreMeshGeometry(t *testing.T) {
 	m := SixteenCoreMesh()
-	if m.K != 9 || m.NBanks != 81 {
-		t.Fatalf("bad mesh: K=%d banks=%d", m.K, m.NBanks)
+	if m.W != 9 || m.H != 9 || m.NBanks != 81 {
+		t.Fatalf("bad mesh: W=%d H=%d banks=%d", m.W, m.H, m.NBanks)
 	}
 	if len(m.Cores) != 16 {
 		t.Fatalf("want 16 cores, got %d", len(m.Cores))
@@ -99,6 +99,68 @@ func TestChipGeometry(t *testing.T) {
 	}
 	if c.NCores() != 4 {
 		t.Fatalf("NCores = %d", c.NCores())
+	}
+}
+
+func TestBorderMeshPlacement(t *testing.T) {
+	cases := []struct{ w, h, cores, wantMCs int }{
+		{5, 5, 4, 1},
+		{8, 8, 8, 4},
+		{8, 4, 6, 4},
+		{2, 2, 4, 1},
+		{9, 9, 16, 4},
+	}
+	for _, c := range cases {
+		m := BorderMesh(c.w, c.h, c.cores)
+		if m.W != c.w || m.H != c.h || m.NBanks != c.w*c.h {
+			t.Fatalf("%dx%d: bad geometry W=%d H=%d banks=%d", c.w, c.h, m.W, m.H, m.NBanks)
+		}
+		if len(m.Cores) != c.cores {
+			t.Fatalf("%dx%d: %d cores, want %d", c.w, c.h, len(m.Cores), c.cores)
+		}
+		if len(m.MemCtls) != c.wantMCs {
+			t.Fatalf("%dx%d/%d cores: %d MCUs, want %d", c.w, c.h, c.cores, len(m.MemCtls), c.wantMCs)
+		}
+		seen := map[Coord]bool{}
+		for _, cc := range m.Cores {
+			if cc.X != 0 && cc.X != c.w-1 && cc.Y != 0 && cc.Y != c.h-1 {
+				t.Fatalf("%dx%d: core at %v is not on the border", c.w, c.h, cc)
+			}
+			if seen[cc] {
+				t.Fatalf("%dx%d: two cores share coordinate %v", c.w, c.h, cc)
+			}
+			seen[cc] = true
+		}
+	}
+}
+
+func TestBorderMeshRejectsBadGeometry(t *testing.T) {
+	for _, f := range []func(){
+		func() { BorderMesh(1, 5, 2) },
+		func() { BorderMesh(5, 5, 0) },
+		func() { BorderMesh(3, 3, MaxBorderCores(3, 3)+1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad BorderMesh geometry did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRectMeshBankCoordRoundTrip(t *testing.T) {
+	m := BorderMesh(7, 3, 4)
+	for b := 0; b < m.NBanks; b++ {
+		if m.BankID(m.BankCoord(b)) != b {
+			t.Fatalf("bank %d round trip failed", b)
+		}
+	}
+	c := m.BankCoord(m.NBanks - 1)
+	if c.X != 6 || c.Y != 2 {
+		t.Fatalf("last bank at %v, want {6 2}", c)
 	}
 }
 

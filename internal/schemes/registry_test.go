@@ -1,0 +1,132 @@
+package schemes
+
+import (
+	"strings"
+	"testing"
+
+	"whirlpool/internal/cache"
+	"whirlpool/internal/energy"
+	"whirlpool/internal/llc"
+	"whirlpool/internal/noc"
+)
+
+// unregisterForTest removes a test-registered scheme so registry
+// mutations do not leak across tests in this package.
+func unregisterForTest(t *testing.T, id Kind) {
+	t.Helper()
+	t.Cleanup(func() {
+		regMu.Lock()
+		defer regMu.Unlock()
+		delete(registry, id)
+		for i, k := range regOrder {
+			if k == id {
+				regOrder = append(regOrder[:i], regOrder[i+1:]...)
+				break
+			}
+		}
+	})
+}
+
+func TestKindRoundTrip(t *testing.T) {
+	kinds := AllKinds()
+	if len(kinds) < 6 {
+		t.Fatalf("only %d registered schemes, want at least the paper's 6", len(kinds))
+	}
+	// The six built-ins come first, in the paper's presentation order.
+	wantOrder := []Kind{KindSNUCALRU, KindSNUCADRRIP, KindIdealSPD, KindAwasthi, KindJigsaw, KindWhirlpool}
+	for i, k := range wantOrder {
+		if kinds[i] != k {
+			t.Fatalf("AllKinds()[%d] = %q, want %q", i, kinds[i], k)
+		}
+	}
+	for _, k := range kinds {
+		got, err := ParseKind(k.ID())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.ID(), err)
+		}
+		if got != k {
+			t.Fatalf("ParseKind(%q) = %q, want %q", k.ID(), got, k)
+		}
+		if k.String() == "" || k.String() == "unknown" {
+			t.Fatalf("%q has no figure label", k)
+		}
+	}
+	ids := KindIDs()
+	if len(ids) != len(kinds) {
+		t.Fatalf("KindIDs has %d entries for %d kinds", len(ids), len(kinds))
+	}
+}
+
+func TestParseKindUnknown(t *testing.T) {
+	_, err := ParseKind("bogus")
+	if err == nil {
+		t.Fatal("ParseKind accepted an unknown scheme")
+	}
+	if !strings.Contains(err.Error(), "whirlpool") || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("error %q should name the bad input and list valid schemes", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	noop := func(o Options) llc.LLC { return nil }
+	if err := Register("", "x", noop); err == nil {
+		t.Fatal("registered an empty identifier")
+	}
+	if err := Register("Has Spaces", "x", noop); err == nil {
+		t.Fatal("registered an identifier with spaces")
+	}
+	if err := Register("nil-builder", "x", nil); err == nil {
+		t.Fatal("registered a nil builder")
+	}
+	if err := Register(string(KindWhirlpool), "dup", noop); err == nil {
+		t.Fatal("duplicate registration of a built-in did not error")
+	}
+}
+
+// A scheme registered at runtime is indistinguishable from a built-in:
+// it parses, lists, labels, and builds.
+func TestRegisterExternalScheme(t *testing.T) {
+	const id = "test-drrip-clone"
+	unregisterForTest(t, Kind(id))
+	if err := Register(id, "TestClone", func(o Options) llc.LLC {
+		return NewSNUCA(o.Chip, o.Meter, cache.DRRIP)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(id, "again", func(o Options) llc.LLC { return nil }); err == nil {
+		t.Fatal("duplicate registration did not error")
+	}
+	k, err := ParseKind(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.String() != "TestClone" {
+		t.Fatalf("label = %q", k.String())
+	}
+	found := false
+	for _, kk := range AllKinds() {
+		if kk == k {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered scheme missing from AllKinds")
+	}
+	l := Build(k, Options{Chip: noc.FourCoreChip(), Meter: &energy.Meter{}})
+	if l == nil || l.Name() != "S-NUCA-DRRIP" {
+		t.Fatalf("built %v", l)
+	}
+	lat, out := l.Access(0, demand(99))
+	if out == llc.Hit || lat == 0 {
+		t.Fatal("registered scheme does not simulate")
+	}
+}
+
+func TestBuildUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Build of an unknown kind did not panic")
+		}
+	}()
+	Build(Kind("no-such-scheme"), Options{})
+}

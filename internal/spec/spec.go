@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"whirlpool/internal/addr"
+	"whirlpool/internal/noc"
 	"whirlpool/internal/workloads"
 )
 
@@ -74,6 +75,90 @@ type Phase struct {
 type Mix struct {
 	Name string   `json:"name"`
 	Apps []string `json:"apps"`
+	// Pins places app i on core pins[i] (distinct, within the chip's
+	// core count). Omitted: app i runs on core i.
+	Pins []int `json:"pins,omitempty"`
+	// Chip overrides the topology this mix runs on. Omitted: the
+	// 4-core chip when the apps and pins fit, else the 16-core chip.
+	Chip *ChipSpec `json:"chip,omitempty"`
+}
+
+// ChipSpec describes a chip topology in a spec file: either one of the
+// paper's presets or a custom mesh.
+type ChipSpec struct {
+	// Preset names a paper chip: "4core" (Fig 1) or "16core" (Fig 12).
+	// Mutually exclusive with Mesh/Cores.
+	Preset string `json:"preset,omitempty"`
+	// Mesh is a custom [width, height] bank grid.
+	Mesh []int `json:"mesh,omitempty"`
+	// Cores attaches this many cores around the mesh border (default 4).
+	Cores int `json:"cores,omitempty"`
+	// BankKB sizes each LLC bank in KB (default 512).
+	BankKB int `json:"bank_kb,omitempty"`
+}
+
+// validate checks the chip description without building it. The
+// custom-mesh rules live in noc.ValidateCustom, shared with the public
+// Chip type.
+func (c *ChipSpec) validate() error {
+	if kb := uint64(c.BankKB) * addr.KB; c.BankKB < 0 || (kb != 0 && kb < noc.MinBankBytes) {
+		return fmt.Errorf("bank_kb %d out of range (want >= %d)", c.BankKB, noc.MinBankBytes/addr.KB)
+	}
+	if c.Preset != "" {
+		if c.Preset != "4core" && c.Preset != "16core" {
+			return fmt.Errorf("unknown chip preset %q (valid: 4core, 16core)", c.Preset)
+		}
+		if len(c.Mesh) != 0 || c.Cores != 0 {
+			return fmt.Errorf("chip preset %q cannot combine with mesh/cores", c.Preset)
+		}
+		return nil
+	}
+	if len(c.Mesh) != 2 {
+		return fmt.Errorf("chip needs either a preset or a [width, height] mesh")
+	}
+	return noc.ValidateCustom(c.Mesh[0], c.Mesh[1], c.NCores(), uint64(c.BankKB)*addr.KB)
+}
+
+// NCores reports the core count the chip description resolves to.
+func (c *ChipSpec) NCores() int {
+	if c.Preset == "4core" {
+		return 4
+	}
+	if c.Preset == "16core" {
+		return 16
+	}
+	if c.Cores == 0 {
+		return 4
+	}
+	return c.Cores
+}
+
+// Build constructs the described chip. Call only after validation.
+func (c *ChipSpec) Build() *noc.Chip {
+	switch c.Preset {
+	case "4core":
+		chip := noc.FourCoreChip()
+		if c.BankKB > 0 {
+			chip.BankBytes = uint64(c.BankKB) * addr.KB
+		}
+		return chip
+	case "16core":
+		chip := noc.SixteenCoreChip()
+		if c.BankKB > 0 {
+			chip.BankBytes = uint64(c.BankKB) * addr.KB
+		}
+		return chip
+	}
+	return noc.Custom(c.Mesh[0], c.Mesh[1], c.NCores(), uint64(c.BankKB)*addr.KB)
+}
+
+// BuildChip resolves a mix's chip override, or nil for the default
+// topology.
+func (m *Mix) BuildChip() *noc.Chip {
+	if m.Chip == nil {
+		return nil
+	}
+	return m.Chip.Build()
 }
 
 // ByteSize is a byte count that unmarshals from either a JSON number or
@@ -231,7 +316,8 @@ func (f *File) validate() error {
 		appNames[a.Name] = true
 	}
 	mixNames := make(map[string]bool, len(f.Mixes))
-	for i, m := range f.Mixes {
+	for i := range f.Mixes {
+		m := &f.Mixes[i]
 		at := fmt.Sprintf("mixes[%d] (%s)", i, m.Name)
 		if !nameRe.MatchString(m.Name) {
 			return fmt.Errorf("spec: %s: name must match %s", at, nameRe)
@@ -240,8 +326,19 @@ func (f *File) validate() error {
 			return fmt.Errorf("spec: %s: duplicate mix name", at)
 		}
 		mixNames[m.Name] = true
-		if len(m.Apps) < 1 || len(m.Apps) > 16 {
-			return fmt.Errorf("spec: %s: mixes take 1..16 apps (one per core), got %d", at, len(m.Apps))
+		if m.Chip != nil {
+			if err := m.Chip.validate(); err != nil {
+				return fmt.Errorf("spec: %s: chip: %v", at, err)
+			}
+		}
+		// The core budget: the mix's own chip, or the default choice
+		// (4-core when apps and pins fit, else 16-core).
+		cores := 16
+		if m.Chip != nil {
+			cores = m.Chip.NCores()
+		}
+		if len(m.Apps) < 1 || len(m.Apps) > cores {
+			return fmt.Errorf("spec: %s: mixes take 1..%d apps (one per core), got %d", at, cores, len(m.Apps))
 		}
 		for _, name := range m.Apps {
 			if appNames[name] {
@@ -249,6 +346,21 @@ func (f *File) validate() error {
 			}
 			if _, ok := workloads.ByName(name); !ok {
 				return fmt.Errorf("spec: %s: unknown app %q (not in this file or the known suite)", at, name)
+			}
+		}
+		if m.Pins != nil {
+			if len(m.Pins) != len(m.Apps) {
+				return fmt.Errorf("spec: %s: pins needs one core per app (%d), got %d", at, len(m.Apps), len(m.Pins))
+			}
+			seen := make(map[int]bool, len(m.Pins))
+			for j, p := range m.Pins {
+				if p < 0 || p >= cores {
+					return fmt.Errorf("spec: %s: pins[%d] = %d out of range [0,%d)", at, j, p, cores)
+				}
+				if seen[p] {
+					return fmt.Errorf("spec: %s: pins[%d] = %d pins two apps to one core", at, j, p)
+				}
+				seen[p] = true
 			}
 		}
 	}

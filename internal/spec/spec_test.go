@@ -130,6 +130,17 @@ func TestParseInvalid(t *testing.T) {
 		{"mix too big", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a","a","a","a","a","a","a","a","a","a","a","a","a","a","a","a","a"]}]}`, "1..16"},
 		{"dup mix", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"]},{"name":"m","apps":["a"]}]}`, "duplicate mix"},
 		{"bad version", `{"version":9,"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}]}`, "unsupported version"},
+		{"pins len", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"pins":[0,1]}]}`, "one core per app"},
+		{"pins dup", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]},{"name":"b","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a","b"],"pins":[2,2]}]}`, "two apps to one core"},
+		{"pins range", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"pins":[16]}]}`, "out of range"},
+		{"pins beyond chip", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"pins":[5],"chip":{"preset":"4core"}}]}`, "out of range"},
+		{"chip bad preset", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"chip":{"preset":"32core"}}]}`, "unknown chip preset"},
+		{"chip preset plus mesh", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"chip":{"preset":"4core","mesh":[5,5]}}]}`, "cannot combine"},
+		{"chip mesh len", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"chip":{"mesh":[5]}}]}`, "[width, height]"},
+		{"chip mesh range", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"chip":{"mesh":[1,5]}}]}`, "out of range"},
+		{"chip too many cores", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"chip":{"mesh":[3,3],"cores":99}}]}`, "do not fit"},
+		{"chip tiny bank", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a"],"chip":{"mesh":[5,5],"bank_kb":16}}]}`, "bank_kb"},
+		{"mix overflows chip", `{"apps":[{"name":"a","structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}],"mixes":[{"name":"m","apps":["a","a","a","a","a"],"chip":{"preset":"4core"}}]}`, "1..4"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -141,6 +152,38 @@ func TestParseInvalid(t *testing.T) {
 				t.Fatalf("error %q does not mention %q", err, c.wantErr)
 			}
 		})
+	}
+}
+
+func TestParseMixPinsAndChip(t *testing.T) {
+	f, err := Parse([]byte(`{
+		"apps": [
+			{"name": "a", "structs": [{"name": "x", "bytes": "1MB", "pattern": "rand"}]},
+			{"name": "b", "structs": [{"name": "x", "bytes": "1MB", "pattern": "seq"}]}
+		],
+		"mixes": [
+			{"name": "pinned", "apps": ["a", "b"], "pins": [0, 3]},
+			{"name": "custom", "apps": ["a", "b"], "pins": [1, 5],
+			 "chip": {"mesh": [8, 8], "cores": 6, "bank_kb": 256}},
+			{"name": "preset", "apps": ["a"], "chip": {"preset": "16core"}}
+		]
+	}`))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.Mixes[0].BuildChip() != nil {
+		t.Fatal("mix without chip should resolve nil (default topology)")
+	}
+	chip := f.Mixes[1].BuildChip()
+	if chip == nil || chip.NCores() != 6 || chip.NBanks() != 64 {
+		t.Fatalf("custom chip = %+v", chip)
+	}
+	if got := chip.BankBytes; got != 256*1024 {
+		t.Fatalf("bank bytes = %d, want 256KB", got)
+	}
+	preset := f.Mixes[2].BuildChip()
+	if preset == nil || preset.NCores() != 16 || preset.NBanks() != 81 {
+		t.Fatalf("preset chip = %+v", preset)
 	}
 }
 

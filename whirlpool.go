@@ -6,9 +6,10 @@
 //
 //   - A pool-based memory allocator over a simulated address space
 //     (Allocator), the paper's pool_create / pool_malloc API.
-//   - A NUCA multicore simulator with six last-level cache organizations:
-//     S-NUCA (LRU and DRRIP), IdealSPD, Awasthi et al., Jigsaw, and
-//     Whirlpool itself.
+//   - A NUCA multicore simulator with a registry of last-level cache
+//     organizations: the paper's six — S-NUCA (LRU and DRRIP),
+//     IdealSPD, Awasthi et al., Jigsaw, and Whirlpool itself — plus
+//     any registered at runtime.
 //   - WhirlTool, the profile-guided automatic data classifier.
 //   - PaWS, partitioned work-stealing for task-parallel workloads.
 //   - The paper's benchmark suite as synthetic workloads, and runners
@@ -16,9 +17,13 @@
 //
 // Quick start:
 //
-//	rep, _ := whirlpool.Run("delaunay", whirlpool.Whirlpool, nil)
-//	base, _ := whirlpool.Run("delaunay", whirlpool.Jigsaw, nil)
+//	rep, _ := whirlpool.New("delaunay", whirlpool.Whirlpool).Run()
+//	base, _ := whirlpool.New("delaunay", whirlpool.Jigsaw).Run()
 //	fmt.Printf("speedup: %.1f%%\n", 100*(base.Cycles/rep.Cycles-1))
+//
+// Experiments are configured with functional options (see New and the
+// With* options in experiment.go); the original Run/Compare helpers
+// remain as shims.
 package whirlpool
 
 import (
@@ -33,10 +38,12 @@ import (
 	"whirlpool/internal/workloads"
 )
 
-// Scheme names a last-level cache organization.
+// Scheme names a last-level cache organization by its stable
+// identifier. Any identifier in Schemes() is runnable, including
+// schemes registered outside this package.
 type Scheme string
 
-// The six evaluated schemes.
+// The paper's six evaluated schemes.
 const (
 	SNUCALRU   Scheme = "snuca-lru"
 	SNUCADRRIP Scheme = "snuca-drrip"
@@ -46,21 +53,33 @@ const (
 	Whirlpool  Scheme = "whirlpool"
 )
 
-// Schemes lists all schemes in the paper's presentation order.
+// Schemes lists every registered scheme: the paper's six in
+// presentation order, then any registered at runtime.
 func Schemes() []Scheme {
-	return []Scheme{SNUCALRU, SNUCADRRIP, IdealSPD, Awasthi, Jigsaw, Whirlpool}
+	ids := schemes.KindIDs()
+	out := make([]Scheme, len(ids))
+	for i, id := range ids {
+		out[i] = Scheme(id)
+	}
+	return out
 }
+
+// SchemeLabel returns the figure label for a scheme ("Whirlpool",
+// "DRRIP", ...), or the raw identifier if unregistered.
+func SchemeLabel(s Scheme) string { return schemes.Kind(s).String() }
 
 func (s Scheme) kind() (schemes.Kind, error) {
 	k, err := schemes.ParseKind(string(s))
 	if err != nil {
-		return 0, fmt.Errorf("whirlpool: unknown scheme %q (valid: %v)", s, Schemes())
+		return "", fmt.Errorf("whirlpool: unknown scheme %q (valid: %v)", s, Schemes())
 	}
 	return k, nil
 }
 
-// Options tune a run. The zero value (or nil) uses the defaults the
-// experiments use.
+// Options tune a run the legacy way. The zero value (or nil) uses the
+// defaults the experiments use. New callers should prefer New with
+// functional options, which also reach the harness seed, the reconfig
+// period, chip topology, contexts, and observers.
 type Options struct {
 	// Scale multiplies workload length (default 1.0).
 	Scale float64
@@ -72,6 +91,27 @@ type Options struct {
 	AutoClassify int
 	// DisableBypass turns off VC bypassing (ablation).
 	DisableBypass bool
+}
+
+// options converts the legacy struct into functional options.
+func (o *Options) options() []Option {
+	if o == nil {
+		return nil
+	}
+	var out []Option
+	if o.Scale != 0 {
+		out = append(out, WithScale(o.Scale))
+	}
+	if o.Pools != nil {
+		out = append(out, WithPools(o.Pools...))
+	}
+	if o.AutoClassify > 0 {
+		out = append(out, WithAutoClassify(o.AutoClassify))
+	}
+	if o.DisableBypass {
+		out = append(out, WithoutBypass())
+	}
+	return out
 }
 
 // Report summarizes one simulation run.
@@ -116,24 +156,55 @@ func report(app string, s Scheme, r *sim.Result) Report {
 	}
 }
 
-// harnesses are cached per scale so repeated Run calls share traces.
+// harnessKey is the full harness configuration: harnesses are cached
+// per key so repeated runs share traces, and a run with a different
+// seed or reconfig period never silently reuses a mismatched harness.
+type harnessKey struct {
+	scale    float64
+	seed     uint64
+	reconfig uint64
+}
+
+func (k harnessKey) withDefaults() harnessKey {
+	if k.scale == 0 {
+		k.scale = 1.0
+	}
+	if k.seed == 0 {
+		k.seed = experiments.DefaultSeed
+	}
+	if k.reconfig == 0 {
+		k.reconfig = experiments.DefaultReconfigCycles
+	}
+	return k
+}
+
 var (
 	harnessMu sync.Mutex
-	harnesses = map[float64]*experiments.Harness{}
+	harnesses = map[harnessKey]*experiments.Harness{}
 )
 
-func harnessFor(scale float64) *experiments.Harness {
-	if scale == 0 {
-		scale = 1.0
-	}
+func harnessFor(k harnessKey) *experiments.Harness {
+	k = k.withDefaults()
 	harnessMu.Lock()
 	defer harnessMu.Unlock()
-	h, ok := harnesses[scale]
+	h, ok := harnesses[k]
 	if !ok {
-		h = experiments.NewHarness(scale)
-		harnesses[scale] = h
+		h = experiments.NewHarness(k.scale)
+		h.Seed = k.seed
+		h.ReconfigCycles = k.reconfig
+		harnesses[k] = h
 	}
 	return h
+}
+
+// invalidateApps drops the named apps from every cached harness, so
+// redefined workloads rebuild their traces on next use.
+func invalidateApps(names []string) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	for _, h := range harnesses {
+		h.Invalidate(names...)
+	}
 }
 
 // Apps lists every runnable single-threaded app: the built-in suite
@@ -157,9 +228,9 @@ type SpecInfo struct {
 // LoadSpecFile parses a declarative workload-spec file (see
 // docs/workload-specs.md) and registers its apps, making them runnable
 // by name exactly like built-in suite apps. Apps with built-in names
-// replace the built-in definition. Load spec files before the first Run
-// of an app they redefine: built traces are cached per scale, and a
-// replacement registered afterwards does not invalidate them.
+// replace the built-in definition; cached traces for redefined apps
+// are invalidated, so a replacement takes effect even after the app
+// has already run.
 func LoadSpecFile(path string) (*SpecInfo, error) {
 	f, err := spec.Load(path)
 	if err != nil {
@@ -169,6 +240,7 @@ func LoadSpecFile(path string) (*SpecInfo, error) {
 	if err != nil {
 		return nil, err
 	}
+	invalidateApps(apps)
 	info := &SpecInfo{Name: f.Name, Apps: apps, Mixes: map[string][]string{}}
 	if info.Name == "" {
 		info.Name = path
@@ -189,63 +261,22 @@ func ParallelApps() []string {
 }
 
 // Run simulates one app under one scheme on the 4-core chip and returns
-// its report. opt may be nil.
+// its report. opt may be nil. It is a shim over New(...).Run().
 func Run(app string, scheme Scheme, opt *Options) (Report, error) {
-	k, err := scheme.kind()
-	if err != nil {
-		return Report{}, err
-	}
-	if _, ok := workloads.ByName(app); !ok {
-		return Report{}, fmt.Errorf("whirlpool: unknown app %q (see Apps())", app)
-	}
-	o := Options{}
-	if opt != nil {
-		o = *opt
-	}
-	h := harnessFor(o.Scale)
-	ro := experiments.RunOptions{Grouping: o.Pools, NoBypass: o.DisableBypass}
-	if o.AutoClassify > 0 && scheme == Whirlpool {
-		ro.Grouping = h.WhirlToolGrouping(app, o.AutoClassify, true)
-	}
-	r := h.RunSingle(app, k, ro)
-	return report(app, scheme, r), nil
+	return New(app, scheme, opt.options()...).Run()
 }
 
-// Compare runs an app under every scheme.
+// Compare runs an app under every registered scheme. It is a shim over
+// New(...).Compare().
 func Compare(app string, opt *Options) (map[Scheme]Report, error) {
-	out := make(map[Scheme]Report, 6)
-	for _, s := range Schemes() {
-		r, err := Run(app, s, opt)
-		if err != nil {
-			return nil, err
-		}
-		out[s] = r
-	}
-	return out, nil
+	return New(app, "", opt.options()...).Compare()
 }
 
 // AutoClassify runs WhirlTool on an app and returns the discovered pools
-// as groups of data-structure names.
+// as groups of data-structure names. It is a shim over
+// New(...).Classify(pools).
 func AutoClassify(app string, pools int, opt *Options) ([][]string, error) {
-	spec, ok := workloads.ByName(app)
-	if !ok {
-		return nil, fmt.Errorf("whirlpool: unknown app %q", app)
-	}
-	o := Options{}
-	if opt != nil {
-		o = *opt
-	}
-	h := harnessFor(o.Scale)
-	groups := h.WhirlToolGrouping(app, pools, true)
-	out := make([][]string, len(groups))
-	for i, g := range groups {
-		for _, si := range g {
-			if si >= 0 && si < len(spec.Structs) {
-				out[i] = append(out[i], spec.Structs[si].Name)
-			}
-		}
-	}
-	return out, nil
+	return New(app, Whirlpool, opt.options()...).Classify(pools)
 }
 
 // ParallelVariant names a Fig 13 configuration.
@@ -259,7 +290,9 @@ const (
 	ParWhirlpoolPaWS ParallelVariant = "whirlpool+paws"
 )
 
-// RunParallel simulates a task-parallel app on the 16-core chip.
+// RunParallel simulates a task-parallel app on the 16-core chip. It is
+// a shim over the Experiment machinery, so parallel runs share the
+// harness cache with single-app runs at the same configuration.
 func RunParallel(app string, variant ParallelVariant, opt *Options) (Report, error) {
 	var v experiments.ParallelVariant
 	switch variant {
@@ -274,11 +307,8 @@ func RunParallel(app string, variant ParallelVariant, opt *Options) (Report, err
 	default:
 		return Report{}, fmt.Errorf("whirlpool: unknown variant %q", variant)
 	}
-	o := Options{}
-	if opt != nil {
-		o = *opt
+	if _, ok := paws.SpecByName(app); !ok {
+		return Report{}, fmt.Errorf("whirlpool: unknown parallel app %q (see ParallelApps())", app)
 	}
-	h := harnessFor(o.Scale)
-	r := h.RunParallel(app, v)
-	return report(app, Scheme(string(variant)), r), nil
+	return New(app, Scheme(string(variant)), opt.options()...).runParallelVariant(v, Scheme(string(variant)))
 }

@@ -23,9 +23,19 @@ func TestRunUnknownScheme(t *testing.T) {
 }
 
 func TestAppsListed(t *testing.T) {
-	apps := whirlpool.Apps()
-	if len(apps) != 31 {
-		t.Fatalf("Apps() = %d entries, want 31", len(apps))
+	// The built-in suite is 31 apps; spec files loaded elsewhere in this
+	// test binary may layer more on top, never fewer.
+	apps := map[string]bool{}
+	for _, a := range whirlpool.Apps() {
+		apps[a] = true
+	}
+	if len(apps) < 31 {
+		t.Fatalf("Apps() = %d entries, want at least the 31 built-ins", len(apps))
+	}
+	for _, a := range []string{"delaunay", "MIS", "mcf", "lbm", "hull"} {
+		if !apps[a] {
+			t.Fatalf("built-in %q missing from Apps()", a)
+		}
 	}
 	par := whirlpool.ParallelApps()
 	if len(par) != 6 {
@@ -55,8 +65,19 @@ func TestCompareCoversAllSchemes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(m) != 6 {
-		t.Fatalf("Compare returned %d schemes", len(m))
+	// Compare covers every registered scheme: the paper's six plus any
+	// registered by other tests in this binary.
+	all := whirlpool.Schemes()
+	if len(all) < 6 {
+		t.Fatalf("Schemes() = %d entries, want at least 6", len(all))
+	}
+	if len(m) != len(all) {
+		t.Fatalf("Compare returned %d schemes, want %d", len(m), len(all))
+	}
+	for _, s := range []whirlpool.Scheme{whirlpool.SNUCALRU, whirlpool.Whirlpool} {
+		if _, ok := m[s]; !ok {
+			t.Fatalf("Compare missing %q", s)
+		}
 	}
 }
 
