@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build examples test race vet fmt fmt-check bench smoke ci
+.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke ci
 
 build:
 	$(GO) build ./...
@@ -38,6 +38,17 @@ fmt-check:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# The perf trajectory: trace-pipeline benchmarks (filter, cursor replay,
+# codec, warm vs cold harness load, one sim pass) rendered as
+# BENCH_trace.json. The raw benchmark lines ride along inside the JSON,
+# so benchstat can compare two snapshots:
+#   jq -r '.raw[]' BENCH_trace.json | benchstat /dev/stdin
+bench-json:
+	$(GO) test -run '^$$' -bench 'FilterPrivate|TraceCursor|TraceCodec|HarnessTrace|SimRunDelaunay' \
+		-benchmem -benchtime 200ms -count 1 ./internal/trace/ ./internal/experiments/ \
+		| $(GO) run ./cmd/whirltool benchjson > BENCH_trace.json
+	@echo "wrote BENCH_trace.json"
+
 # End-to-end CLI smoke: the spec engine, the sweep runner, and the
 # error paths CI asserts on (bad flags must exit non-zero).
 smoke:
@@ -58,4 +69,32 @@ smoke:
 	! $(GO) run ./cmd/whirlsim -chip 1x1 -scale 0.05 2>/dev/null
 	@echo "smoke OK"
 
-ci: build examples vet fmt-check test race bench smoke
+# Record/replay smoke: a trace recorded with `whirltool trace record`
+# and replayed through a "trace"-sourced spec app must reproduce the
+# direct run bit-for-bit (MPKI and the rest of the report columns), and
+# a warm -trace-cache sweep must regenerate zero traces.
+trace-smoke:
+	rm -rf .trace-smoke && mkdir -p .trace-smoke
+	$(GO) run ./cmd/whirltool trace record -app delaunay -scale 0.05 -o .trace-smoke/delaunay.wtrc
+	$(GO) run ./cmd/whirltool trace info .trace-smoke/delaunay.wtrc
+	$(GO) run ./cmd/whirltool trace cat -n 3 .trace-smoke/delaunay.wtrc >/dev/null
+	printf '{"name":"trace-smoke","apps":[{"name":"dt-rec","source":"trace","trace":"delaunay.wtrc"}]}' \
+		> .trace-smoke/spec.json
+	$(GO) run ./cmd/whirlsim -spec .trace-smoke/spec.json -app dt-rec -scheme jigsaw -scale 0.05 2>/dev/null \
+		| awk 'NR==2{print "jigsaw", $$5}' > .trace-smoke/replay.txt
+	$(GO) run ./cmd/whirlsim -spec .trace-smoke/spec.json -app dt-rec -scheme snuca-lru -scale 0.05 2>/dev/null \
+		| awk 'NR==2{print "snuca", $$5}' >> .trace-smoke/replay.txt
+	$(GO) run ./cmd/whirlsim -app delaunay -scheme jigsaw -scale 0.05 \
+		| awk 'NR==2{print "jigsaw", $$5}' > .trace-smoke/direct.txt
+	$(GO) run ./cmd/whirlsim -app delaunay -scheme snuca-lru -scale 0.05 \
+		| awk 'NR==2{print "snuca", $$5}' >> .trace-smoke/direct.txt
+	diff .trace-smoke/replay.txt .trace-smoke/direct.txt
+	$(GO) run ./cmd/whirlsweep -apps delaunay,MIS -schemes jigsaw -scale 0.05 \
+		-trace-cache .trace-smoke/cache -q
+	$(GO) run ./cmd/whirlsweep -apps delaunay,MIS -schemes jigsaw -scale 0.05 \
+		-trace-cache .trace-smoke/cache -o /dev/null 2>&1 \
+		| grep -q 'traces: 0 generated'
+	rm -rf .trace-smoke
+	@echo "trace-smoke OK"
+
+ci: build examples vet fmt-check test race bench smoke trace-smoke

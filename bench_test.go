@@ -1,5 +1,5 @@
 // Benchmarks that regenerate every table and figure in the paper's
-// evaluation (DESIGN.md maps each to its experiment). Each benchmark
+// evaluation (docs/design.md maps each to its experiment). Each benchmark
 // prints nothing by default; run cmd/whirlbench to see the tables. The
 // -whirl.scale flag trades fidelity for speed (1.0 = full runs).
 package whirlpool_test

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"whirlpool"
+	"whirlpool/internal/cliutil"
 )
 
 func main() {
@@ -22,8 +23,16 @@ func main() {
 	seed := flag.Uint64("seed", 0, "workload generation seed (0 = the published default)")
 	mixes := flag.Int("mixes", 20, "number of mixes for fig22")
 	apps := flag.String("apps", "", "comma-separated app subset for suite figures")
+	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
 	listFigs := flag.Bool("listfigs", false, "list figure ids and exit")
 	flag.Parse()
+
+	if dir, err := cliutil.ResolveTraceCacheDir(*traceCache); err != nil {
+		fmt.Fprintln(os.Stderr, "whirlbench:", err)
+		os.Exit(1)
+	} else if dir != "" {
+		whirlpool.SetTraceCacheDir(dir)
+	}
 
 	if *listFigs || *fig == "" {
 		fmt.Println("figures:", strings.Join(whirlpool.Figures(), " "))

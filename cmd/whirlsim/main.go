@@ -35,8 +35,15 @@ func main() {
 	reconfig := flag.Uint64("reconfig", 0, "D-NUCA reconfiguration period in cycles (0 = default)")
 	chip := flag.String("chip", "", "chip topology: 4core, 16core, or WxH[:cores[:bankKB]]")
 	pools := flag.Int("auto", 0, "classify with WhirlTool into N pools (whirlpool scheme)")
+	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
 	list := flag.Bool("list", false, "list available apps and schemes, then exit")
 	flag.Parse()
+
+	if dir, err := cliutil.ResolveTraceCacheDir(*traceCache); err != nil {
+		fatal(err)
+	} else if dir != "" {
+		whirlpool.SetTraceCacheDir(dir)
+	}
 
 	for _, path := range cliutil.SplitList(*specFiles) {
 		info, err := whirlpool.LoadSpecFile(path)

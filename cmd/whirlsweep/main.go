@@ -48,6 +48,7 @@ func main() {
 	format := flag.String("format", "table", "output format: table, csv, or json")
 	out := flag.String("o", "", "write results to this file (default: stdout)")
 	noBypass := flag.Bool("nobypass", false, "disable VC bypassing in every run (ablation)")
+	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
 	quiet := flag.Bool("q", false, "suppress progress output on stderr")
 	dumpBuiltin := flag.Bool("dump-builtin", false, "print the built-in suite as a spec file and exit")
 	flag.Parse()
@@ -160,8 +161,22 @@ func main() {
 	if *seed != 0 {
 		h.Seed = *seed
 	}
+	cacheDir, err := cliutil.ResolveTraceCacheDir(*traceCache)
+	if err != nil {
+		fatal(err)
+	}
+	h.CacheDir = cacheDir
 	start := time.Now()
 	rows, sweepErr := h.Sweep(cfg)
+	if cacheDir != "" && !*quiet {
+		s := h.CacheStats()
+		fmt.Fprintf(os.Stderr, "whirlsweep: traces: %d generated, %d streamed from %s\n",
+			s.Builds, s.DiskHits, cacheDir)
+		if s.WriteErrors > 0 {
+			fmt.Fprintf(os.Stderr, "whirlsweep: warning: %d trace cache write(s) failed; those traces stayed uncached\n",
+				s.WriteErrors)
+		}
+	}
 	if sweepErr != nil && len(rows) == 0 {
 		fatal(sweepErr)
 	}

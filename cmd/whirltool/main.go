@@ -1,21 +1,58 @@
-// Command whirltool runs WhirlTool's profile-guided classification on a
-// benchmark: it prints the clustering dendrogram (Fig 17) and the
-// resulting pool assignment for the requested pool count.
+// Command whirltool bundles the workload tooling around the simulator:
+// WhirlTool's profile-guided classification (the default mode), the
+// .wtrc trace record/replay toolchain, and the bench-trajectory
+// formatter.
 //
 // Usage:
 //
-//	whirltool -app omnet -pools 3
+//	whirltool -app omnet -pools 3                  # classification (Fig 17)
+//	whirltool trace record -app delaunay -o dt.wtrc
+//	whirltool trace info dt.wtrc
+//	whirltool trace cat dt.wtrc | head
+//	go test -bench . -benchmem ./... | whirltool benchjson > BENCH_trace.json
+//
+// Recorded traces replay through every scheme, sweep, and figure via a
+// "trace"-sourced spec app (docs/workload-specs.md).
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"whirlpool"
+	"whirlpool/internal/cliutil"
+	"whirlpool/internal/experiments"
+	"whirlpool/internal/trace"
 )
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "whirltool:", err)
+	os.Exit(1)
+}
+
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trace":
+			traceCmd(os.Args[2:])
+			return
+		case "benchjson":
+			benchJSONCmd(os.Args[2:])
+			return
+		}
+	}
+	classifyCmd()
+}
+
+// classifyCmd is the original whirltool mode: profile-guided pool
+// classification.
+func classifyCmd() {
 	app := flag.String("app", "delaunay", "benchmark to classify")
 	pools := flag.Int("pools", 3, "number of pools to produce")
 	scale := flag.Float64("scale", 1.0, "profiling run length multiplier")
@@ -28,8 +65,7 @@ func main() {
 	}
 	groups, err := whirlpool.New(*app, whirlpool.Whirlpool, opts...).Classify(*pools)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "whirltool:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("WhirlTool classification of %s into %d pools:\n", *app, *pools)
 	for i, g := range groups {
@@ -39,5 +75,187 @@ func main() {
 	if err == nil && (*app == "delaunay" || *app == "omnet") {
 		fmt.Println()
 		fmt.Println(dendro)
+	}
+}
+
+// traceCmd dispatches the record/info/cat trace subcommands.
+func traceCmd(args []string) {
+	if len(args) == 0 {
+		fatal(fmt.Errorf("usage: whirltool trace record|info|cat ..."))
+	}
+	switch args[0] {
+	case "record":
+		traceRecord(args[1:])
+	case "info":
+		traceInfo(args[1:])
+	case "cat":
+		traceCat(args[1:])
+	default:
+		fatal(fmt.Errorf("unknown trace subcommand %q (valid: record, info, cat)", args[0]))
+	}
+}
+
+// traceRecord generates an app, filters it through the private levels,
+// and writes the LLC trace as a .wtrc file.
+func traceRecord(args []string) {
+	fs := flag.NewFlagSet("trace record", flag.ExitOnError)
+	app := fs.String("app", "delaunay", "app to record (built-in or from -spec files)")
+	specFiles := fs.String("spec", "", "comma-separated workload-spec files to load first")
+	scale := fs.Float64("scale", 1.0, "workload length multiplier")
+	seed := fs.Uint64("seed", 0, "workload generation seed (0 = the published default)")
+	out := fs.String("o", "", "output file (default <app>.wtrc)")
+	fs.Parse(args)
+
+	for _, path := range cliutil.SplitList(*specFiles) {
+		if _, err := whirlpool.LoadSpecFile(path); err != nil {
+			fatal(err)
+		}
+	}
+	h := experiments.NewHarness(*scale)
+	if *seed != 0 {
+		h.Seed = *seed
+	}
+	at, err := h.AppErr(*app)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *app + ".wtrc"
+	}
+	if err := trace.WriteFile(path, at.Tr); err != nil {
+		fatal(err)
+	}
+	s := at.Tr.Stats()
+	fmt.Fprintf(os.Stderr, "whirltool: recorded %s: %d LLC accesses (%d demand), %d instrs -> %s (%d bytes)\n",
+		*app, at.Tr.NumAccesses(), at.Tr.DemandAccesses(), s.Instrs, path, fileSize(path))
+}
+
+// traceInfo prints a .wtrc file's header and derived statistics.
+func traceInfo(args []string) {
+	fs := flag.NewFlagSet("trace info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: whirltool trace info FILE.wtrc"))
+	}
+	path := fs.Arg(0)
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	s := tr.Stats()
+	wbacks := uint64(tr.NumAccesses()) - tr.DemandAccesses()
+	fmt.Printf("%s: wtrc v%d\n", path, trace.FormatVersion)
+	fmt.Printf("  accesses:     %d (%d demand + %d writeback)\n", tr.NumAccesses(), tr.DemandAccesses(), wbacks)
+	fmt.Printf("  instructions: %d\n", s.Instrs)
+	fmt.Printf("  LLC APKI:     %.2f\n", tr.LLCAPKI())
+	fmt.Printf("  private lvls: %d raw accesses, %d L1 hits, %d L2 hits\n", s.RawAccesses, s.L1Hits, s.L2Hits)
+	fmt.Printf("  base cycles:  %d\n", s.BaseCycles)
+	fmt.Printf("  file bytes:   %d (%.2f B/access resident)\n", fileSize(path),
+		float64(tr.EncodedBytes())/max(1, float64(tr.NumAccesses())))
+}
+
+// traceCat streams a .wtrc file as text, one access per line.
+func traceCat(args []string) {
+	fs := flag.NewFlagSet("trace cat", flag.ExitOnError)
+	limit := fs.Int("n", 0, "print at most N accesses (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("usage: whirltool trace cat [-n N] FILE.wtrc"))
+	}
+	tr, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintln(w, "# seq line gap flags (W=write, B=writeback)")
+	for i, cur := 0, tr.NewCursor(); ; i++ {
+		a, ok := cur.Next()
+		if !ok || (*limit > 0 && i >= *limit) {
+			break
+		}
+		flags := "-"
+		switch {
+		case a.Writeback:
+			flags = "B"
+		case a.Write:
+			flags = "W"
+		}
+		fmt.Fprintf(w, "%d %#x %d %s\n", i, uint64(a.Line), a.Gap, flags)
+	}
+}
+
+func fileSize(path string) int64 {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return -1
+	}
+	return fi.Size()
+}
+
+// benchRow is one parsed benchmark result.
+type benchRow struct {
+	Name    string             `json:"name"`
+	Pkg     string             `json:"pkg,omitempty"`
+	Iters   int64              `json:"iters"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchJSON is the BENCH_trace.json schema: parsed metrics for
+// dashboards plus the raw benchmark lines, which remain benchstat
+// input (jq -r '.raw[]' BENCH_trace.json | benchstat /dev/stdin).
+type benchJSON struct {
+	Schema     string     `json:"schema"`
+	Go         string     `json:"go"`
+	Benchmarks []benchRow `json:"benchmarks"`
+	Raw        []string   `json:"raw"`
+}
+
+// benchJSONCmd converts `go test -bench` output on stdin into the
+// repo's bench-trajectory JSON on stdout.
+func benchJSONCmd(args []string) {
+	fs := flag.NewFlagSet("benchjson", flag.ExitOnError)
+	fs.Parse(args)
+
+	out := benchJSON{Schema: "whirlpool-bench/v1", Go: runtime.Version()}
+	pkg := ""
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) < 3 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		row := benchRow{Name: f[0], Pkg: pkg, Iters: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			row.Metrics[f[i+1]] = v
+		}
+		out.Benchmarks = append(out.Benchmarks, row)
+		out.Raw = append(out.Raw, line)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(out.Benchmarks) == 0 {
+		fatal(fmt.Errorf("benchjson: no benchmark lines on stdin (pipe `go test -bench` output in)"))
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fatal(err)
 	}
 }

@@ -152,6 +152,16 @@ func (e *Experiment) checkCtx() error {
 	return nil
 }
 
+// checkClassifiable rejects WhirlTool profiling of trace-sourced apps:
+// profiling replays the synthetic generator, which a recorded .wtrc
+// trace does not have.
+func (e *Experiment) checkClassifiable() error {
+	if spec, ok := workloads.ByName(e.app); ok && spec.TracePath != "" {
+		return fmt.Errorf("whirlpool: cannot classify trace-sourced app %q (WhirlTool profiles the synthetic generator; recorded traces carry no allocation sites)", e.app)
+	}
+	return nil
+}
+
 // validate resolves the app name; option errors were already captured.
 func (e *Experiment) validate() error {
 	if e.err != nil {
@@ -181,6 +191,12 @@ func (e *Experiment) runScheme(s Scheme) (Report, error) {
 		return Report{}, err
 	}
 	h := e.harness()
+	// Resolve the trace up front: building can fail at run time (e.g. a
+	// trace-sourced app whose .wtrc file is missing or corrupt), and that
+	// must surface as an error, not a panic from deeper in the harness.
+	if _, err := h.AppErr(e.app); err != nil {
+		return Report{}, err
+	}
 	ro := experiments.RunOptions{Grouping: e.pools, NoBypass: e.disableBypass}
 	if e.chip != nil {
 		ro.Chip, err = e.chip.toNoc()
@@ -189,6 +205,9 @@ func (e *Experiment) runScheme(s Scheme) (Report, error) {
 		}
 	}
 	if e.autoClassify > 0 && s == Whirlpool {
+		if err := e.checkClassifiable(); err != nil {
+			return Report{}, err
+		}
 		ro.Grouping = h.WhirlToolGrouping(e.app, e.autoClassify, true)
 	}
 	r := h.RunSingle(e.app, k, ro)
@@ -228,6 +247,9 @@ func (e *Experiment) Classify(pools int) ([][]string, error) {
 		return nil, fmt.Errorf("whirlpool: classify needs at least 1 pool, got %d", pools)
 	}
 	if err := e.checkCtx(); err != nil {
+		return nil, err
+	}
+	if err := e.checkClassifiable(); err != nil {
 		return nil, err
 	}
 	spec, _ := workloads.ByName(e.app)

@@ -8,12 +8,15 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 
 	"whirlpool"
+	"whirlpool/internal/addr"
 	"whirlpool/internal/cache"
 	"whirlpool/internal/llc"
 	"whirlpool/internal/schemes"
+	"whirlpool/internal/trace"
 )
 
 // The builder with default options must produce bit-identical reports
@@ -254,5 +257,58 @@ func TestSpecReloadInvalidatesHarnessCache(t *testing.T) {
 	}
 	if r2.Instrs <= r1.Instrs {
 		t.Fatalf("redefinition ignored: instrs %v -> %v (stale cached trace)", r1.Instrs, r2.Instrs)
+	}
+}
+
+// A trace-sourced app whose .wtrc file is missing must fail with a
+// clean error through the public API, never a panic.
+func TestRunTraceAppMissingFileErrors(t *testing.T) {
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(specPath,
+		[]byte(`{"apps":[{"name":"ghost-trace","source":"trace","trace":"ghost.wtrc"}]}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := whirlpool.LoadSpecFile(specPath); err != nil {
+		t.Fatal(err)
+	}
+	_, err := whirlpool.New("ghost-trace", whirlpool.Jigsaw).Run()
+	if err == nil || !strings.Contains(err.Error(), "ghost.wtrc") {
+		t.Fatalf("missing trace file: err = %v, want a named-file error", err)
+	}
+}
+
+// WhirlTool classification needs the synthetic generator: on a
+// trace-sourced app it must error, not profile an empty stream.
+func TestClassifyTraceAppErrors(t *testing.T) {
+	dir := t.TempDir()
+	wtrc := filepath.Join(dir, "t.wtrc")
+	tr := &trace.LLCTrace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(trace.LLCAccess{Line: addr.Line(i * 64), Gap: 30})
+	}
+	tr.Instrs = 3000
+	if err := trace.WriteFile(wtrc, tr); err != nil {
+		t.Fatal(err)
+	}
+	spec := filepath.Join(dir, "s.json")
+	if err := os.WriteFile(spec,
+		[]byte(`{"apps":[{"name":"cls-trace","source":"trace","trace":"`+wtrc+`"}]}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := whirlpool.LoadSpecFile(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := whirlpool.New("cls-trace", whirlpool.Whirlpool).Classify(3); err == nil ||
+		!strings.Contains(err.Error(), "classify trace-sourced") {
+		t.Fatalf("Classify on trace app: err = %v", err)
+	}
+	if _, err := whirlpool.New("cls-trace", whirlpool.Whirlpool, whirlpool.WithAutoClassify(2)).Run(); err == nil ||
+		!strings.Contains(err.Error(), "classify trace-sourced") {
+		t.Fatalf("auto-classify Run on trace app: err = %v", err)
+	}
+	// Without auto-classify the same app must simply run.
+	if _, err := whirlpool.New("cls-trace", whirlpool.Whirlpool).Run(); err != nil {
+		t.Fatalf("plain run of trace app: %v", err)
 	}
 }

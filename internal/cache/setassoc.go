@@ -57,7 +57,7 @@ type Eviction struct {
 // contiguous data still spreads perfectly across sets (as with classic
 // low-bit indexing) while large power-of-two strides avoid pathological
 // conflicts — matching the near-ideal conflict behaviour of the paper's
-// 52-candidate zcache banks (see DESIGN.md).
+// 52-candidate zcache banks (see docs/design.md).
 type SetAssoc struct {
 	sets  int
 	ways  int

@@ -2,7 +2,29 @@
 // binaries.
 package cliutil
 
-import "strings"
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// TraceCacheUsage is the shared help text for the -trace-cache flag.
+const TraceCacheUsage = "on-disk trace cache directory ('auto' = the user cache dir; empty = disabled)"
+
+// ResolveTraceCacheDir maps a -trace-cache flag value to a directory:
+// "" stays disabled, "auto" resolves to <user cache dir>/whirlpool/traces,
+// anything else is used as given.
+func ResolveTraceCacheDir(v string) (string, error) {
+	if v != "auto" {
+		return v, nil
+	}
+	base, err := os.UserCacheDir()
+	if err != nil {
+		return "", fmt.Errorf("-trace-cache auto: %v", err)
+	}
+	return filepath.Join(base, "whirlpool", "traces"), nil
+}
 
 // SplitList splits a comma-separated flag value, trimming whitespace
 // and dropping empty entries.

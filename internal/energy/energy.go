@@ -6,7 +6,7 @@
 // Appendix A): an on-chip access to a ~1MB cache costs about 1nJ, sending
 // 256 bits across the chip costs ~300pJ (we charge per flit-hop on a mesh
 // with 128-bit flits), and a DRAM access costs 20-50nJ. Relative costs are
-// what matter for reproducing the paper's energy breakdowns; see DESIGN.md.
+// what matter for reproducing the paper's energy breakdowns; see docs/design.md.
 package energy
 
 // Per-event energies in picojoules.

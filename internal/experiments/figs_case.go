@@ -173,7 +173,11 @@ func (h *Harness) curveTable(app string, figure string) *Table {
 	for i := range profs {
 		profs[i] = newPoolCurve(chip)
 	}
-	for _, a := range at.Tr.Accesses {
+	for cur := at.Tr.NewCursor(); ; {
+		a, ok := cur.Next()
+		if !ok {
+			break
+		}
 		if a.Writeback {
 			continue
 		}

@@ -12,7 +12,7 @@ import (
 // with the expected structure and the paper's qualitative content.
 
 // Scale 0.25 keeps each trace's unique footprint above the LLC size so
-// warm-up cannot artificially fit streaming data (see DESIGN.md).
+// warm-up cannot artificially fit streaming data (see docs/design.md).
 var figH = NewHarness(0.25)
 
 func TestFig02Structure(t *testing.T) {

@@ -5,7 +5,12 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -21,7 +26,7 @@ import (
 )
 
 // DefaultReconfigCycles is the scaled-down analogue of the paper's 25ms
-// reconfiguration period (see DESIGN.md: runs are ~10^8 cycles, so a 2M
+// reconfiguration period (see docs/design.md: runs are ~10^8 cycles, so a 2M
 // cycle period yields a comparable number of reconfigurations per run).
 const DefaultReconfigCycles = 2_000_000
 
@@ -34,6 +39,13 @@ const DefaultSeed = 0xC0FFEE
 // every scheme. The cache is a per-app once: concurrent callers (the
 // sweep worker pool) build distinct apps in parallel, but each app's
 // expensive trace.FilterPrivate pass runs exactly once.
+//
+// With CacheDir set, the harness additionally keeps a content-addressed
+// on-disk trace cache: each generated trace is written as a .wtrc file
+// keyed by the app-spec digest × scale × seed × reconfig, and later
+// harnesses (other processes, parallel sweep reruns) stream it back
+// instead of regenerating. The key covers the full spec, so a spec-file
+// edit or codec bump never resurrects a stale trace.
 type Harness struct {
 	// Scale multiplies every app's access count (1.0 = full runs).
 	Scale float64
@@ -41,15 +53,36 @@ type Harness struct {
 	ReconfigCycles uint64
 	// Seed drives all workload generation.
 	Seed uint64
+	// CacheDir, when non-empty, enables the on-disk trace cache. Set it
+	// before running, or concurrently via SetCacheDir.
+	CacheDir string
 
-	mu     sync.Mutex
-	cache  map[string]*appEntry
-	builds atomic.Int64
+	mu        sync.Mutex
+	cache     map[string]*appEntry
+	builds    atomic.Int64
+	diskHits  atomic.Int64
+	writeErrs atomic.Int64
+}
+
+// SetCacheDir updates CacheDir safely while runs may be in flight
+// (whirlpool.SetTraceCacheDir retargets live harnesses through it).
+func (h *Harness) SetCacheDir(dir string) {
+	h.mu.Lock()
+	h.CacheDir = dir
+	h.mu.Unlock()
+}
+
+// cacheDir reads CacheDir under the same lock.
+func (h *Harness) cacheDir() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.CacheDir
 }
 
 type appEntry struct {
 	once sync.Once
 	at   *AppTrace
+	err  error
 }
 
 // AppTrace is a built app plus its LLC-level trace.
@@ -99,11 +132,86 @@ func (h *Harness) AppErr(name string) (*AppTrace, error) {
 	}
 	h.mu.Unlock()
 	e.once.Do(func() {
-		h.builds.Add(1)
-		w := workloads.Build(spec, h.Scale)
-		e.at = &AppTrace{W: w, Tr: trace.FilterPrivate(w.Stream(h.Seed))}
+		e.at, e.err = h.buildAppTrace(spec)
 	})
-	return e.at, nil
+	return e.at, e.err
+}
+
+// buildAppTrace resolves one app's LLC trace: from its recorded .wtrc
+// file (trace-sourced spec apps), from the on-disk trace cache, or by
+// generating and private-filtering the synthetic stream — writing the
+// result back to the cache when one is configured.
+func (h *Harness) buildAppTrace(spec workloads.AppSpec) (*AppTrace, error) {
+	w := workloads.Build(spec, h.Scale)
+	if spec.TracePath != "" {
+		// Externally recorded app: the .wtrc file IS the trace; scale
+		// and seed do not apply, and the disk cache would be redundant.
+		tr, err := trace.ReadFile(spec.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: app %q: %w", spec.Name, err)
+		}
+		return &AppTrace{W: w, Tr: tr}, nil
+	}
+	var cachePath string
+	if dir := h.cacheDir(); dir != "" {
+		cachePath = filepath.Join(dir, traceCacheName(spec, h.Scale, h.Seed, h.ReconfigCycles))
+		if tr, err := trace.ReadFile(cachePath); err == nil {
+			h.diskHits.Add(1)
+			return &AppTrace{W: w, Tr: tr}, nil
+		}
+		// Miss, corrupt entry, or unreadable dir: regenerate (and try to
+		// overwrite below — a corrupt file heals itself).
+	}
+	h.builds.Add(1)
+	tr := trace.FilterPrivate(w.Stream(h.Seed))
+	if cachePath != "" {
+		// The trace is already built, so a cache write failure (read-only
+		// dir, full disk) degrades to uncached operation instead of
+		// failing the run; CacheStats.WriteErrors makes it observable.
+		err := os.MkdirAll(filepath.Dir(cachePath), 0o777)
+		if err == nil {
+			err = trace.WriteFile(cachePath, tr)
+		}
+		if err != nil {
+			h.writeErrs.Add(1)
+		}
+	}
+	return &AppTrace{W: w, Tr: tr}, nil
+}
+
+// traceCacheName is the content-addressed cache file name for one
+// (spec, scale, seed, reconfig) combination. The digest covers the full
+// app spec (JSON) and the .wtrc format version; the app name prefix is
+// cosmetic, for humans listing the cache directory. Reconfig does not
+// influence trace content (filtering stops at the private levels) but
+// stays in the key for parity with the in-memory harness key — runs
+// differing only in reconfig period duplicate identical entries.
+func traceCacheName(spec workloads.AppSpec, scale float64, seed, reconfig uint64) string {
+	j, _ := json.Marshal(spec)
+	d := sha256.New()
+	fmt.Fprintf(d, "wtrc%d|scale=%g|seed=%d|reconfig=%d|", trace.FormatVersion, scale, seed, reconfig)
+	d.Write(j)
+	return fmt.Sprintf("%s-%s.wtrc", spec.Name, hex.EncodeToString(d.Sum(nil))[:24])
+}
+
+// CacheStats reports trace provenance counters: Builds counts traces
+// generated + private-filtered in this process, DiskHits counts traces
+// streamed from the on-disk cache instead, and WriteErrors counts
+// cache write-backs that failed (the run continued uncached). A
+// warm-cache rerun shows Builds == 0.
+type CacheStats struct {
+	Builds      int64
+	DiskHits    int64
+	WriteErrors int64
+}
+
+// CacheStats returns the harness's trace provenance counters.
+func (h *Harness) CacheStats() CacheStats {
+	return CacheStats{
+		Builds:      h.builds.Load(),
+		DiskHits:    h.diskHits.Load(),
+		WriteErrors: h.writeErrs.Load(),
+	}
 }
 
 // App returns the cached trace for an app, panicking on unknown names
@@ -123,7 +231,14 @@ func (h *Harness) TraceBuilds() int64 { return h.builds.Load() }
 
 // poolClassifier builds the Whirlpool classifier for one app: line →
 // callpoint → pool (per grouping), giving each pool a per-core VC.
+// Trace-sourced apps have no structures (and their lines live in no
+// arena of the simulated space), so they classify as one pool per core.
 func poolClassifier(w *workloads.Workload, grouping [][]int) llc.Classifier {
+	if len(w.Structs) == 0 {
+		return func(core int, line addr.Line) llc.VCKey {
+			return llc.VCKey{Core: int16(core)}
+		}
+	}
 	cpPools := w.CallpointPools(grouping)
 	space := w.Space
 	return func(core int, line addr.Line) llc.VCKey {
@@ -182,7 +297,7 @@ func (h *Harness) RunSingle(app string, kind schemes.Kind, opt RunOptions) *sim.
 			WhirlpoolBypass:   !opt.NoBypass,
 		})
 	}
-	traces := make([]*trace.LLCTrace, chip.NCores())
+	traces := make([]trace.Reader, chip.NCores())
 	traces[0] = at.Tr
 	cfg := sim.Config{
 		LLC:      l,
@@ -206,18 +321,6 @@ func (h *Harness) RunSingle(app string, kind schemes.Kind, opt RunOptions) *sim.
 // mixes (apps are independent processes; shared arrays must not alias).
 func mixLineOffset(core int) addr.Line {
 	return addr.Line(uint64(core+1) << 44)
-}
-
-// offsetTrace clones a trace with all lines shifted for the given core.
-func offsetTrace(t *trace.LLCTrace, core int) *trace.LLCTrace {
-	out := *t
-	out.Accesses = make([]trace.LLCAccess, len(t.Accesses))
-	off := mixLineOffset(core)
-	for i, a := range t.Accesses {
-		a.Line += off
-		out.Accesses[i] = a
-	}
-	return &out
 }
 
 // RunMix runs one app per core under the fixed-work methodology
@@ -254,7 +357,7 @@ func (h *Harness) RunMixPinned(apps []string, pins []int, kind schemes.Kind, chi
 		cpPools map[mem.Callpoint]mem.PoolID
 	}
 	ctxs := make([]appCtx, chip.NCores())
-	traces := make([]*trace.LLCTrace, chip.NCores())
+	traces := make([]trace.Reader, chip.NCores())
 	for i, name := range apps {
 		c := pins[i]
 		if c < 0 || c >= chip.NCores() {
@@ -265,10 +368,12 @@ func (h *Harness) RunMixPinned(apps []string, pins []int, kind schemes.Kind, chi
 		}
 		at := h.App(name)
 		ctxs[c] = appCtx{w: at.W, cpPools: at.W.CallpointPools(at.W.ManualGrouping())}
-		traces[c] = offsetTrace(at.Tr, c)
+		traces[c] = trace.Offset(at.Tr, mixLineOffset(c))
 	}
 	whirlpoolClassify := func(core int, line addr.Line) llc.VCKey {
-		if core >= len(ctxs) || ctxs[core].w == nil {
+		// Trace-sourced apps (no structures) fall into the default
+		// one-VC-per-core arm, like idle cores.
+		if core >= len(ctxs) || ctxs[core].w == nil || len(ctxs[core].w.Structs) == 0 {
 			return llc.VCKey{Core: int16(core)}
 		}
 		orig := line - mixLineOffset(core)

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"os"
+	"path/filepath"
 	"testing"
 
 	"whirlpool/internal/noc"
 	"whirlpool/internal/schemes"
 	"whirlpool/internal/sim"
+	"whirlpool/internal/trace"
+	"whirlpool/internal/workloads"
 )
 
 // The shared test harness runs at reduced scale to keep tests fast.
@@ -165,5 +169,192 @@ func TestRunSingleDeterministic(t *testing.T) {
 	if r1.Cycles != r2.Cycles || r1.Hits != r2.Hits || r1.Misses != r2.Misses {
 		t.Fatalf("nondeterministic: %d/%d/%d vs %d/%d/%d",
 			r1.Cycles, r1.Hits, r1.Misses, r2.Cycles, r2.Hits, r2.Misses)
+	}
+}
+
+// TestDiskTraceCacheWarmRerun is the acceptance contract for the on-disk
+// trace cache: a second harness pointed at the same cache directory runs
+// the same cells with zero trace regenerations, and its results are
+// bit-identical to the cold run's.
+func TestDiskTraceCacheWarmRerun(t *testing.T) {
+	dir := t.TempDir()
+	apps := []string{"delaunay", "MIS"}
+
+	cold := NewHarness(0.05)
+	cold.CacheDir = dir
+	coldRes := map[string]*sim.Result{}
+	for _, app := range apps {
+		coldRes[app] = cold.RunSingle(app, schemes.KindJigsaw, RunOptions{})
+	}
+	cs := cold.CacheStats()
+	if cs.Builds != int64(len(apps)) || cs.DiskHits != 0 {
+		t.Fatalf("cold stats = %+v, want %d builds, 0 hits", cs, len(apps))
+	}
+
+	warm := NewHarness(0.05)
+	warm.CacheDir = dir
+	for _, app := range apps {
+		r := warm.RunSingle(app, schemes.KindJigsaw, RunOptions{})
+		c := coldRes[app]
+		if r.Cycles != c.Cycles || r.Hits != c.Hits || r.Misses != c.Misses ||
+			r.Instrs != c.Instrs || r.Energy.Total() != c.Energy.Total() {
+			t.Fatalf("%s: warm-cache result differs from cold run", app)
+		}
+	}
+	ws := warm.CacheStats()
+	if ws.Builds != 0 || ws.DiskHits != int64(len(apps)) {
+		t.Fatalf("warm stats = %+v, want 0 builds, %d hits", ws, len(apps))
+	}
+}
+
+// TestDiskTraceCacheKeying: different scale or seed must never share a
+// cache entry.
+func TestDiskTraceCacheKeying(t *testing.T) {
+	dir := t.TempDir()
+	h1 := NewHarness(0.05)
+	h1.CacheDir = dir
+	h1.App("hull")
+
+	h2 := NewHarness(0.02) // different scale
+	h2.CacheDir = dir
+	h2.App("hull")
+	if s := h2.CacheStats(); s.Builds != 1 || s.DiskHits != 0 {
+		t.Fatalf("different scale reused a cache entry: %+v", s)
+	}
+
+	h3 := NewHarness(0.05) // different seed
+	h3.CacheDir = dir
+	h3.Seed = 12345
+	h3.App("hull")
+	if s := h3.CacheStats(); s.Builds != 1 || s.DiskHits != 0 {
+		t.Fatalf("different seed reused a cache entry: %+v", s)
+	}
+
+	// Same config again: both prior entries are live, zero rebuilds.
+	h4 := NewHarness(0.05)
+	h4.CacheDir = dir
+	h4.App("hull")
+	if s := h4.CacheStats(); s.Builds != 0 || s.DiskHits != 1 {
+		t.Fatalf("identical config missed the cache: %+v", s)
+	}
+}
+
+// TestDiskTraceCacheHealsCorruptEntry: a truncated/corrupt cache file is
+// treated as a miss and overwritten, not an error.
+func TestDiskTraceCacheHealsCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	h1 := NewHarness(0.02)
+	h1.CacheDir = dir
+	want := h1.App("hull").Tr.Stats()
+
+	ents, err := os.ReadDir(dir)
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("cache dir: %v entries, err %v", len(ents), err)
+	}
+	path := filepath.Join(dir, ents[0].Name())
+	if err := os.WriteFile(path, []byte("WTRCgarbage"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := NewHarness(0.02)
+	h2.CacheDir = dir
+	got := h2.App("hull").Tr.Stats()
+	if got != want {
+		t.Fatalf("healed trace stats = %+v, want %+v", got, want)
+	}
+	if s := h2.CacheStats(); s.Builds != 1 {
+		t.Fatalf("corrupt entry should rebuild: %+v", s)
+	}
+
+	h3 := NewHarness(0.02)
+	h3.CacheDir = dir
+	h3.App("hull")
+	if s := h3.CacheStats(); s.DiskHits != 1 {
+		t.Fatalf("healed entry should hit: %+v", s)
+	}
+}
+
+// TestDiskTraceCacheWriteFailureDegrades: an unwritable cache dir must
+// not fail the run — the built trace is used uncached and the failure
+// is visible in CacheStats.
+func TestDiskTraceCacheWriteFailureDegrades(t *testing.T) {
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarness(0.02)
+	h.CacheDir = blocker // a file: MkdirAll and writes fail
+	r := h.RunSingle("hull", schemes.KindJigsaw, RunOptions{})
+	if r.Demand == 0 {
+		t.Fatal("run failed under an unwritable cache dir")
+	}
+	if s := h.CacheStats(); s.Builds != 1 || s.WriteErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 build, 1 write error", s)
+	}
+}
+
+// TestTraceSourcedApp registers a recorded .wtrc as an app spec and
+// checks it replays bit-identically to the app it was recorded from
+// (under a classification-independent scheme).
+func TestTraceSourcedApp(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewHarness(0.05)
+	at, err := rec.AppErr("delaunay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "dt.wtrc")
+	if err := trace.WriteFile(path, at.Tr); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := workloads.Register(workloads.AppSpec{Name: "dt-recorded", Suite: "trace", TracePath: path}); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarness(0.05)
+	direct := h.RunSingle("delaunay", schemes.KindJigsaw, RunOptions{})
+	replay := h.RunSingle("dt-recorded", schemes.KindJigsaw, RunOptions{})
+	if direct.Cycles != replay.Cycles || direct.Misses != replay.Misses ||
+		direct.Hits != replay.Hits || direct.Instrs != replay.Instrs {
+		t.Fatalf("trace replay differs: direct %d/%d/%d, replay %d/%d/%d",
+			direct.Cycles, direct.Hits, direct.Misses,
+			replay.Cycles, replay.Hits, replay.Misses)
+	}
+}
+
+// TestTraceSourcedAppAllSchemes: a structless trace app must run under
+// every scheme — including Whirlpool, whose classifier must not probe
+// the (empty) simulated address space — alone and inside a mix.
+func TestTraceSourcedAppAllSchemes(t *testing.T) {
+	dir := t.TempDir()
+	rec := NewHarness(0.02)
+	path := filepath.Join(dir, "hull.wtrc")
+	if err := trace.WriteFile(path, rec.App("hull").Tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := workloads.Register(workloads.AppSpec{Name: "hull-rec", Suite: "trace", TracePath: path}); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarness(0.02)
+	for _, k := range schemes.AllKinds() {
+		r := h.RunSingle("hull-rec", k, RunOptions{})
+		if r.Demand == 0 {
+			t.Fatalf("%v: empty trace-app run", k)
+		}
+	}
+	mix := h.RunMix([]string{"hull-rec", "MIS"}, schemes.KindWhirlpool, noc.FourCoreChip(), false)
+	if mix.Cores[0].Demand == 0 || mix.Cores[1].Demand == 0 {
+		t.Fatal("trace app in a whirlpool mix produced empty cores")
+	}
+}
+
+// TestTraceSourcedAppMissingFile: a bad trace path errors cleanly.
+func TestTraceSourcedAppMissingFile(t *testing.T) {
+	if err := workloads.Register(workloads.AppSpec{Name: "bad-trace", TracePath: "/nonexistent/x.wtrc"}); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHarness(0.05)
+	if _, err := h.AppErr("bad-trace"); err == nil {
+		t.Fatal("missing trace file must error")
 	}
 }

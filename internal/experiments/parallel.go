@@ -44,9 +44,9 @@ func ParallelVariants() []ParallelVariant {
 
 // parallelTraces caches the filtered per-core traces for one (app,
 // policy) pair.
-func (h *Harness) parallelTraces(app *paws.App, policy paws.Policy, mesh *noc.Mesh) []*trace.LLCTrace {
+func (h *Harness) parallelTraces(app *paws.App, policy paws.Policy, mesh *noc.Mesh) []trace.Reader {
 	sched := paws.Run(app, len(mesh.Cores), policy, mesh, h.Seed)
-	out := make([]*trace.LLCTrace, len(sched.Streams))
+	out := make([]trace.Reader, len(sched.Streams))
 	for c, accs := range sched.Streams {
 		out[c] = trace.FilterPrivate(&trace.SliceStream{Accs: accs})
 	}

@@ -9,7 +9,7 @@ import (
 )
 
 // sizing and placement: the OS runtime that fires every reconfiguration
-// interval (25ms in the paper; scaled in simulation — see DESIGN.md).
+// interval (25ms in the paper; scaled in simulation — see docs/design.md).
 
 // memPenalty returns the effective miss penalty in cycles: memory latency
 // plus the average bank-to-controller round trip.

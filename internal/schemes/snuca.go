@@ -29,7 +29,7 @@ type SNUCA struct {
 // NewSNUCA builds an S-NUCA LLC with the given replacement policy. The
 // array is modeled as one shared structure with associativity equal to the
 // bank count (the per-bank 52-candidate zcaches give near-ideal
-// associativity; see DESIGN.md).
+// associativity; see docs/design.md).
 func NewSNUCA(chip *noc.Chip, meter *energy.Meter, repl cache.Repl) *SNUCA {
 	return &SNUCA{
 		chip:  chip,

@@ -2,6 +2,11 @@
 // (produced by trace.FilterPrivate) against a pluggable LLC organization,
 // interleaving cores by their simulated cycle counts, accumulating timing,
 // data-movement energy, and per-pool statistics.
+//
+// Traces arrive as trace.Reader values and are replayed through cursors:
+// the simulator never materializes an access slice, so a run's resident
+// cost is the columnar trace plus O(1) per-core replay state. Warmup and
+// fixed-work (Loop) passes rewind via Cursor.Reset.
 package sim
 
 import (
@@ -21,9 +26,9 @@ type Config struct {
 	LLC llc.LLC
 	// Meter accumulates data-movement energy for the run.
 	Meter *energy.Meter
-	// Traces holds one filtered trace per core; nil entries are idle
-	// cores.
-	Traces []*trace.LLCTrace
+	// Traces holds one filtered trace reader per core; nil entries are
+	// idle cores.
+	Traces []trace.Reader
 	// TickEvery is the LLC runtime hook period in cycles.
 	TickEvery uint64
 	// PoolOf optionally classifies lines for per-pool statistics.
@@ -100,9 +105,13 @@ func (r *Result) MPKI() float64 {
 	return float64(r.Misses+r.Bypasses) / float64(r.Instrs) * 1000
 }
 
-// coreState tracks replay progress for one core.
+// coreState tracks replay progress for one core: a cursor over its
+// trace plus position/cycle counters.
 type coreState struct {
-	tr        *trace.LLCTrace
+	cur trace.Cursor
+	n   int           // accesses per pass
+	sum trace.Summary // the trace's private-level stats
+
 	pos       int
 	cycles    uint64
 	warmStart uint64 // cycle count when measurement began
@@ -110,6 +119,19 @@ type coreState struct {
 	passes    int
 	finished  bool // stats frozen
 	res       CoreResult
+}
+
+// next returns the core's next access, rewinding the cursor at the end
+// of each full pass. done reports that this access completes a pass.
+func (cs *coreState) next() (a trace.LLCAccess, done bool) {
+	a, _ = cs.cur.Next()
+	cs.pos++
+	if cs.pos >= cs.n {
+		cs.cur.Reset()
+		cs.pos = 0
+		return a, true
+	}
+	return a, false
 }
 
 // warmupPass replays every trace once without recording statistics,
@@ -133,8 +155,7 @@ func warmupPass(cfg Config, cores []*coreState, nextTick uint64) uint64 {
 				cs, core = c, i
 			}
 		}
-		a := cs.tr.Accesses[cs.pos]
-		cs.pos++
+		a, done := cs.next()
 		if a.Writeback {
 			_, _ = cfg.LLC.Access(core, a)
 		} else {
@@ -146,8 +167,7 @@ func warmupPass(cfg Config, cores []*coreState, nextTick uint64) uint64 {
 			cfg.LLC.Tick(cs.cycles)
 			nextTick += cfg.TickEvery
 		}
-		if cs.pos >= len(cs.tr.Accesses) {
-			cs.pos = 0
+		if done {
 			cs.finished = true
 			remaining--
 		}
@@ -168,10 +188,10 @@ func Run(cfg Config) *Result {
 	cores := make([]*coreState, len(cfg.Traces))
 	active := 0
 	for i, t := range cfg.Traces {
-		if t == nil || len(t.Accesses) == 0 {
+		if t == nil || t.NumAccesses() == 0 {
 			continue
 		}
-		cores[i] = &coreState{tr: t}
+		cores[i] = &coreState{cur: t.NewCursor(), n: t.NumAccesses(), sum: t.Stats()}
 		active++
 	}
 	if active == 0 {
@@ -180,11 +200,15 @@ func Run(cfg Config) *Result {
 	var nextTick uint64 = cfg.TickEvery
 	if cfg.Warmup {
 		nextTick = warmupPass(cfg, cores, nextTick)
-		// Measurement starts warm: reset timing and energy, keep state.
+		// Measurement starts warm: reset timing and energy, keep cache
+		// state. The cursors were rewound as each warmup pass completed.
 		for _, c := range cores {
 			if c != nil {
 				warmCycles := c.cycles
-				*c = coreState{tr: c.tr, cycles: warmCycles, warmStart: warmCycles}
+				*c = coreState{
+					cur: c.cur, n: c.n, sum: c.sum,
+					cycles: warmCycles, warmStart: warmCycles,
+				}
 			}
 		}
 		cfg.Meter.Reset()
@@ -207,8 +231,7 @@ func Run(cfg Config) *Result {
 		if cs == nil {
 			break
 		}
-		a := cs.tr.Accesses[cs.pos]
-		cs.pos++
+		a, done := cs.next()
 		if a.Writeback {
 			_, _ = cfg.LLC.Access(core, a)
 			if !cs.finished {
@@ -252,13 +275,12 @@ func Run(cfg Config) *Result {
 			}
 			nextTick += cfg.TickEvery
 		}
-		if cs.pos >= len(cs.tr.Accesses) {
-			cs.pos = 0
+		if done {
 			cs.passes++
 			if !cs.finished {
 				cs.finished = true
 				cs.res.Instrs = cs.instrs
-				cs.res.Cycles = cs.cycles - cs.warmStart + cs.tr.L2Hits*trace.L2HitStall
+				cs.res.Cycles = cs.cycles - cs.warmStart + cs.sum.L2Hits*trace.L2HitStall
 				remaining--
 			}
 		}

@@ -36,7 +36,7 @@ func (f *fakeLLC) Tick(uint64) { f.ticks++ }
 func mkTrace(n int, gap uint32) *trace.LLCTrace {
 	t := &trace.LLCTrace{}
 	for i := 0; i < n; i++ {
-		t.Accesses = append(t.Accesses, trace.LLCAccess{Line: addr.Line(i), Gap: gap})
+		t.Append(trace.LLCAccess{Line: addr.Line(i), Gap: gap})
 		t.Instrs += uint64(gap)
 	}
 	return t
@@ -47,7 +47,7 @@ func TestRunCountsOutcomes(t *testing.T) {
 	r := Run(Config{
 		LLC:    f,
 		Meter:  &energy.Meter{},
-		Traces: []*trace.LLCTrace{mkTrace(1000, 10)},
+		Traces: []trace.Reader{mkTrace(1000, 10)},
 	})
 	if r.Hits != 500 || r.Misses != 500 {
 		t.Fatalf("hits=%d misses=%d", r.Hits, r.Misses)
@@ -65,7 +65,7 @@ func TestRunCycleAccounting(t *testing.T) {
 	r := Run(Config{
 		LLC:    f,
 		Meter:  &energy.Meter{},
-		Traces: []*trace.LLCTrace{mkTrace(100, 10)},
+		Traces: []trace.Reader{mkTrace(100, 10)},
 	})
 	// 100 accesses x 10 instrs x 0.5 CPI = 500 base cycles,
 	// + (50x10 + 50x100) x LLCStallFactor = 2750 stall cycles.
@@ -80,7 +80,7 @@ func TestRunTickCadence(t *testing.T) {
 	Run(Config{
 		LLC:       f,
 		Meter:     &energy.Meter{},
-		Traces:    []*trace.LLCTrace{mkTrace(10000, 100)},
+		Traces:    []trace.Reader{mkTrace(10000, 100)},
 		TickEvery: 10_000,
 	})
 	if f.ticks < 10 {
@@ -93,7 +93,7 @@ func TestRunMultiCoreInterleaving(t *testing.T) {
 	r := Run(Config{
 		LLC:   f,
 		Meter: &energy.Meter{},
-		Traces: []*trace.LLCTrace{
+		Traces: []trace.Reader{
 			mkTrace(500, 10),
 			mkTrace(500, 10),
 			nil, // idle core
@@ -117,7 +117,7 @@ func TestRunLoopFixedWork(t *testing.T) {
 	r := Run(Config{
 		LLC:   f,
 		Meter: &energy.Meter{},
-		Traces: []*trace.LLCTrace{
+		Traces: []trace.Reader{
 			mkTrace(1000, 10),
 			mkTrace(100, 10),
 		},
@@ -138,7 +138,7 @@ func TestRunWarmupResetsCounters(t *testing.T) {
 	r := Run(Config{
 		LLC:    f,
 		Meter:  m,
-		Traces: []*trace.LLCTrace{mkTrace(200, 10)},
+		Traces: []trace.Reader{mkTrace(200, 10)},
 		Warmup: true,
 	})
 	// The LLC processed two passes (warmup + measured)...
@@ -159,12 +159,10 @@ func TestRunWarmupResetsCounters(t *testing.T) {
 func TestRunWritebacksDoNotStall(t *testing.T) {
 	f := &fakeLLC{hitLat: 10, missLat: 100}
 	tr := &trace.LLCTrace{}
-	tr.Accesses = append(tr.Accesses,
-		trace.LLCAccess{Line: 2, Gap: 10},
-		trace.LLCAccess{Line: 4, Writeback: true},
-	)
+	tr.Append(trace.LLCAccess{Line: 2, Gap: 10})
+	tr.Append(trace.LLCAccess{Line: 4, Writeback: true})
 	tr.Instrs = 10
-	r := Run(Config{LLC: f, Meter: &energy.Meter{}, Traces: []*trace.LLCTrace{tr}})
+	r := Run(Config{LLC: f, Meter: &energy.Meter{}, Traces: []trace.Reader{tr}})
 	if r.Cores[0].Writebacks != 1 {
 		t.Fatalf("writebacks=%d", r.Cores[0].Writebacks)
 	}
@@ -179,7 +177,7 @@ func TestRunPerPoolCounters(t *testing.T) {
 	r := Run(Config{
 		LLC:    f,
 		Meter:  &energy.Meter{},
-		Traces: []*trace.LLCTrace{mkTrace(100, 10)},
+		Traces: []trace.Reader{mkTrace(100, 10)},
 		PoolOf: func(l addr.Line) mem.PoolID {
 			return mem.PoolID(uint64(l) % 2)
 		},
@@ -196,8 +194,151 @@ func TestRunPerPoolCounters(t *testing.T) {
 
 func TestEmptyRun(t *testing.T) {
 	f := &fakeLLC{}
-	r := Run(Config{LLC: f, Meter: &energy.Meter{}, Traces: []*trace.LLCTrace{nil}})
+	r := Run(Config{LLC: f, Meter: &energy.Meter{}, Traces: []trace.Reader{nil}})
 	if r.Demand != 0 || r.Cycles != 0 {
 		t.Fatal("empty run should be empty")
+	}
+}
+
+// recordingLLC records the line sequence it sees, for replay-identity
+// checks across cursor resets.
+type recordingLLC struct {
+	fakeLLC
+	lines []addr.Line
+}
+
+func (r *recordingLLC) Access(core int, a trace.LLCAccess) (uint64, llc.Outcome) {
+	r.lines = append(r.lines, a.Line)
+	return r.fakeLLC.Access(core, a)
+}
+
+// TestRunWarmupReplayIsIdentical drives Warmup through the cursor path:
+// the measured pass must see exactly the access sequence the warmup pass
+// saw (Cursor.Reset rewinds losslessly).
+func TestRunWarmupReplayIsIdentical(t *testing.T) {
+	r := &recordingLLC{fakeLLC: fakeLLC{hitLat: 10, missLat: 100}}
+	Run(Config{
+		LLC:    r,
+		Meter:  &energy.Meter{},
+		Traces: []trace.Reader{mkTrace(300, 10)},
+		Warmup: true,
+	})
+	if len(r.lines) != 600 {
+		t.Fatalf("LLC saw %d accesses, want 600 (2 passes)", len(r.lines))
+	}
+	for i := 0; i < 300; i++ {
+		if r.lines[i] != r.lines[300+i] {
+			t.Fatalf("measured pass diverges at %d: warmup %d, measured %d",
+				i, r.lines[i], r.lines[300+i])
+		}
+	}
+}
+
+// TestRunWarmupCountersStartFromZero pins the warmup contract under the
+// cursor: per-core counters cover exactly the measured pass, and cycle
+// accounting restarts at the warm boundary.
+func TestRunWarmupCountersStartFromZero(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 100}
+	m := &energy.Meter{}
+	r := Run(Config{
+		LLC:    f,
+		Meter:  m,
+		Traces: []trace.Reader{mkTrace(200, 10)},
+		Warmup: true,
+	})
+	c := r.Cores[0]
+	if c.Instrs != 2000 {
+		t.Fatalf("core instrs = %d, want 2000 (one measured pass)", c.Instrs)
+	}
+	if c.Demand != 200 || c.Hits != 100 || c.Misses != 100 {
+		t.Fatalf("core counters = %+v, want one pass of 200 accesses", c)
+	}
+	// Cycles exclude the warmup pass: base + stalls of one pass only
+	// (mkTrace has no L2 hits, so no L2 stall term).
+	base := uint64(float64(2000) * trace.BaseCPI)
+	stall := uint64(float64(100*10+100*100) * trace.LLCStallFactor)
+	if c.Cycles != base+stall {
+		t.Fatalf("core cycles = %d, want %d", c.Cycles, base+stall)
+	}
+}
+
+// TestRunLoopStatsFreezeAtFirstCompletion pins the fixed-work contract
+// under the cursor: the short core keeps replaying (cursor resets) until
+// the long core finishes, but its stats cover exactly its first pass.
+func TestRunLoopStatsFreezeAtFirstCompletion(t *testing.T) {
+	r := &recordingLLC{fakeLLC: fakeLLC{hitLat: 10, missLat: 10}}
+	res := Run(Config{
+		LLC:   r,
+		Meter: &energy.Meter{},
+		Traces: []trace.Reader{
+			mkTrace(1000, 10),
+			trace.Offset(mkTrace(100, 10), 1<<20),
+		},
+		Loop: true,
+	})
+	c1 := res.Cores[1]
+	if c1.Demand != 100 || c1.Instrs != 1000 {
+		t.Fatalf("short core frozen stats = %+v, want first pass only", c1)
+	}
+	if c1.Hits != 50 || c1.Misses != 50 {
+		t.Fatalf("short core hit/miss = %d/%d, want 50/50", c1.Hits, c1.Misses)
+	}
+	// The short core's replayed passes see the same lines each time.
+	var short []addr.Line
+	for _, l := range r.lines {
+		if l >= 1<<20 {
+			short = append(short, l-1<<20)
+		}
+	}
+	// The run stops when the long core finishes, so the short core's
+	// final pass may be partial — but every replayed access must match.
+	if len(short) < 200 {
+		t.Fatalf("short core replayed %d accesses, want >= 200", len(short))
+	}
+	for i, l := range short {
+		if l != addr.Line(i%100) {
+			t.Fatalf("short core pass diverges at %d: got %d", i, l)
+		}
+	}
+}
+
+// TestRunWarmupThenLoop combines both passes: warmup rewinds every
+// cursor, then the fixed-work loop replays from the start.
+func TestRunWarmupThenLoop(t *testing.T) {
+	f := &fakeLLC{hitLat: 10, missLat: 10}
+	r := Run(Config{
+		LLC:   f,
+		Meter: &energy.Meter{},
+		Traces: []trace.Reader{
+			mkTrace(400, 10),
+			mkTrace(100, 10),
+		},
+		Loop:   true,
+		Warmup: true,
+	})
+	if r.Cores[0].Demand != 400 || r.Cores[1].Demand != 100 {
+		t.Fatalf("frozen demand = %d/%d, want 400/100",
+			r.Cores[0].Demand, r.Cores[1].Demand)
+	}
+	// Warmup pass (500) + measured fixed-work (core0 400, core1 >= 400).
+	if f.accesses < 1300 {
+		t.Fatalf("LLC accesses = %d, want >= 1300", f.accesses)
+	}
+}
+
+// TestRunOffsetTrace replays an offset reader (the mix path) and checks
+// the LLC sees shifted lines.
+func TestRunOffsetTrace(t *testing.T) {
+	r := &recordingLLC{fakeLLC: fakeLLC{hitLat: 10, missLat: 10}}
+	base := mkTrace(10, 10)
+	Run(Config{
+		LLC:    r,
+		Meter:  &energy.Meter{},
+		Traces: []trace.Reader{trace.Offset(base, 1<<44)},
+	})
+	for i, l := range r.lines {
+		if l != addr.Line(i)+1<<44 {
+			t.Fatalf("offset line %d = %d", i, l)
+		}
 	}
 }

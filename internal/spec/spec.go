@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
@@ -42,9 +43,13 @@ type File struct {
 // App mirrors workloads.AppSpec with human-friendly encodings (string
 // patterns, size suffixes).
 type App struct {
-	Name        string   `json:"name"`
+	Name string `json:"name"`
+	// Source selects how the app's LLC trace is produced: "synthetic"
+	// (the default: generated from structs/phases and private-filtered)
+	// or "trace" (replayed from a recorded .wtrc file, see Trace).
+	Source      string   `json:"source,omitempty"`
 	Suite       string   `json:"suite,omitempty"`
-	Structs     []Struct `json:"structs"`
+	Structs     []Struct `json:"structs,omitempty"`
 	Phases      []Phase  `json:"phases,omitempty"`
 	PeriodFrac  float64  `json:"period_frac,omitempty"`
 	PhaseJitter float64  `json:"phase_jitter,omitempty"`
@@ -52,6 +57,10 @@ type App struct {
 	Accesses    uint64   `json:"accesses,omitempty"`
 	ManualPools [][]int  `json:"manual_pools,omitempty"`
 	ManualLOC   int      `json:"manual_loc,omitempty"`
+	// Trace is the .wtrc file for source "trace" (whirltool trace
+	// record writes them). Relative paths resolve against the spec
+	// file's directory when loaded via Load.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Struct is one data structure.
@@ -278,7 +287,8 @@ func Parse(data []byte) (*File, error) {
 	return &f, nil
 }
 
-// Load reads and parses a spec file from disk.
+// Load reads and parses a spec file from disk. Relative "trace" paths
+// in the file resolve against the file's own directory.
 func Load(path string) (*File, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -288,6 +298,7 @@ func Load(path string) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %v", path, err)
 	}
+	f.resolvePaths(filepath.Dir(path))
 	return f, nil
 }
 
@@ -370,6 +381,17 @@ func (f *File) validate() error {
 func (a *App) applyDefaultsAndValidate() error {
 	if !nameRe.MatchString(a.Name) {
 		return fmt.Errorf("name must match %s", nameRe)
+	}
+	switch a.Source {
+	case "", "synthetic":
+		a.Source = ""
+	case "trace":
+		return a.validateTraceSource()
+	default:
+		return fmt.Errorf("unknown source %q (valid: synthetic, trace)", a.Source)
+	}
+	if a.Trace != "" {
+		return fmt.Errorf("trace is only valid with source \"trace\"")
 	}
 	if a.Suite == "" {
 		a.Suite = DefaultSuite
@@ -487,6 +509,37 @@ func (a *App) applyDefaultsAndValidate() error {
 	return nil
 }
 
+// validateTraceSource checks a "trace"-sourced app: it takes a .wtrc
+// path and nothing that only makes sense for the synthetic generator.
+// The file itself is opened at run time, not load time, so specs can
+// describe traces recorded later.
+func (a *App) validateTraceSource() error {
+	if a.Trace == "" {
+		return fmt.Errorf("source \"trace\" needs a trace file path (record one with: whirltool trace record)")
+	}
+	if len(a.Structs) != 0 || len(a.Phases) != 0 || len(a.ManualPools) != 0 {
+		return fmt.Errorf("trace-sourced apps take no structs, phases, or manual_pools (the recording fixed them)")
+	}
+	if a.Accesses != 0 || a.APKI != 0 || a.PeriodFrac != 0 || a.PhaseJitter != 0 || a.ManualLOC != 0 {
+		return fmt.Errorf("trace-sourced apps take no generator parameters (accesses, apki, period_frac, phase_jitter, manual_loc)")
+	}
+	if a.Suite == "" {
+		a.Suite = "trace"
+	}
+	return nil
+}
+
+// resolvePaths rebases the file's relative trace paths onto dir (the
+// spec file's directory). Load calls it; Parse leaves paths untouched.
+func (f *File) resolvePaths(dir string) {
+	for i := range f.Apps {
+		a := &f.Apps[i]
+		if a.Trace != "" && !filepath.IsAbs(a.Trace) {
+			a.Trace = filepath.Join(dir, a.Trace)
+		}
+	}
+}
+
 // AppSpecs converts the file's apps into runnable workload specs, with
 // the file-level scale factor applied to access counts.
 func (f *File) AppSpecs() []workloads.AppSpec {
@@ -502,6 +555,9 @@ func (f *File) AppSpecs() []workloads.AppSpec {
 }
 
 func appToSpec(a App, scale float64) workloads.AppSpec {
+	if a.Source == "trace" {
+		return workloads.AppSpec{Name: a.Name, Suite: a.Suite, TracePath: a.Trace}
+	}
 	s := workloads.AppSpec{
 		Name:        a.Name,
 		Suite:       a.Suite,
@@ -565,6 +621,10 @@ func (f *File) Register() ([]string, error) {
 func FromAppSpecs(name string, specs []workloads.AppSpec) *File {
 	f := &File{Version: 1, Name: name}
 	for _, s := range specs {
+		if s.TracePath != "" {
+			f.Apps = append(f.Apps, App{Name: s.Name, Source: "trace", Suite: s.Suite, Trace: s.TracePath})
+			continue
+		}
 		a := App{
 			Name:        s.Name,
 			Suite:       s.Suite,

@@ -2,6 +2,8 @@ package spec
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -266,5 +268,82 @@ func TestRegisterShadowsAndExtends(t *testing.T) {
 	}
 	if count != 1 {
 		t.Errorf("delaunay appears %d times in Names, want 1", count)
+	}
+}
+
+func TestTraceSourceApp(t *testing.T) {
+	f, err := Parse([]byte(`{
+		"apps": [{"name": "recorded", "source": "trace", "trace": "recorded.wtrc"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := f.AppSpecs()
+	if len(specs) != 1 {
+		t.Fatalf("specs = %d", len(specs))
+	}
+	s := specs[0]
+	if s.TracePath != "recorded.wtrc" || s.Suite != "trace" || len(s.Structs) != 0 {
+		t.Fatalf("trace app spec = %+v", s)
+	}
+}
+
+func TestTraceSourceValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"missing path", `{"apps":[{"name":"x","source":"trace"}]}`, "trace file path"},
+		{"structs forbidden", `{"apps":[{"name":"x","source":"trace","trace":"a.wtrc","structs":[{"name":"s","bytes":64,"pattern":"seq"}]}]}`, "no structs"},
+		{"apki forbidden", `{"apps":[{"name":"x","source":"trace","trace":"a.wtrc","apki":30}]}`, "generator parameters"},
+		{"bad source", `{"apps":[{"name":"x","source":"magic"}]}`, "unknown source"},
+		{"trace without source", `{"apps":[{"name":"x","trace":"a.wtrc","structs":[{"name":"s","bytes":64,"pattern":"seq"}]}]}`, "only valid with source"},
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c.json)); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestTraceSourceRelativePathResolution(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "spec.json")
+	err := os.WriteFile(path, []byte(`{
+		"apps": [
+			{"name": "rel", "source": "trace", "trace": "traces/a.wtrc"},
+			{"name": "abs", "source": "trace", "trace": "/tmp/b.wtrc"}
+		]
+	}`), 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Apps[0].Trace, filepath.Join(dir, "traces/a.wtrc"); got != want {
+		t.Errorf("relative path = %q, want %q", got, want)
+	}
+	if got := f.Apps[1].Trace; got != "/tmp/b.wtrc" {
+		t.Errorf("absolute path rewritten to %q", got)
+	}
+}
+
+func TestTraceSourceRoundTrip(t *testing.T) {
+	in := []workloads.AppSpec{{Name: "rec", Suite: "trace", TracePath: "x.wtrc"}}
+	f := FromAppSpecs("rt", in)
+	data, err := Encode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := back.AppSpecs()
+	if len(out) != 1 || !reflect.DeepEqual(out[0], in[0]) {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
 	}
 }

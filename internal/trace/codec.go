@@ -1,0 +1,269 @@
+// The .wtrc binary codec: a versioned record/replay format for filtered
+// LLC traces. The on-disk layout is the in-memory columnar layout plus a
+// fixed header and a CRC, so encode/decode is a straight copy of the
+// column buffers; see docs/trace-format.md for the byte-level reference.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"whirlpool/internal/addr"
+)
+
+// Magic identifies a .wtrc file.
+const Magic = "WTRC"
+
+// FormatVersion is the current .wtrc format version. Bump it on any
+// layout change; readers reject versions they do not understand, and the
+// harness folds it into trace-cache keys so stale cache entries are
+// never picked up.
+const FormatVersion = 1
+
+// maxSaneAccesses and maxSaneBytes bound the sizes a reader will
+// believe: a corrupt header must not provoke a multi-terabyte allocation
+// before the CRC check has a chance to run.
+const (
+	maxSaneAccesses = 1 << 33
+	maxSaneBytes    = 1 << 34
+)
+
+// header is the fixed-size portion after magic+version, little-endian.
+type header struct {
+	N           uint64
+	Demand      uint64
+	Instrs      uint64
+	RawAccesses uint64
+	L1Hits      uint64
+	L2Hits      uint64
+	BaseCycles  uint64
+	LenDeltas   uint64
+	LenGaps     uint64
+}
+
+// WriteTo encodes the trace in .wtrc format. It implements io.WriterTo.
+func (t *LLCTrace) WriteTo(w io.Writer) (int64, error) {
+	crc := crc32.NewIEEE()
+	cw := &countWriter{w: io.MultiWriter(w, crc)}
+
+	if _, err := cw.Write([]byte(Magic)); err != nil {
+		return cw.n, err
+	}
+	var ver [4]byte
+	binary.LittleEndian.PutUint16(ver[0:], FormatVersion)
+	if _, err := cw.Write(ver[:]); err != nil {
+		return cw.n, err
+	}
+	h := header{
+		N:           uint64(t.n),
+		Demand:      t.demand,
+		Instrs:      t.Instrs,
+		RawAccesses: t.RawAccesses,
+		L1Hits:      t.L1Hits,
+		L2Hits:      t.L2Hits,
+		BaseCycles:  t.BaseCycles,
+		LenDeltas:   uint64(len(t.deltas)),
+		LenGaps:     uint64(len(t.gaps)),
+	}
+	if err := binary.Write(cw, binary.LittleEndian, &h); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write(t.deltas); err != nil {
+		return cw.n, err
+	}
+	if _, err := cw.Write(t.gaps); err != nil {
+		return cw.n, err
+	}
+	for _, words := range [][]uint64{t.write, t.wback} {
+		if err := binary.Write(cw, binary.LittleEndian, words); err != nil {
+			return cw.n, err
+		}
+	}
+	// The CRC trailer covers everything above, magic included. It is
+	// written to w only (not to the running CRC).
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc.Sum32())
+	n, err := w.Write(sum[:])
+	return cw.n + int64(n), err
+}
+
+// ReadFrom decodes a .wtrc stream into t, replacing its contents. It
+// implements io.ReaderFrom. Truncated, corrupt, or wrong-version input
+// returns a descriptive error; it never panics and never half-populates
+// t (contents are replaced only on success).
+func (t *LLCTrace) ReadFrom(r io.Reader) (int64, error) {
+	crc := crc32.NewIEEE()
+	cr := &countReader{r: io.TeeReader(r, crc)}
+
+	var magic [4]byte
+	if _, err := io.ReadFull(cr, magic[:]); err != nil {
+		return cr.n, fmt.Errorf("trace: not a .wtrc trace: %w", readErr(err))
+	}
+	if string(magic[:]) != Magic {
+		return cr.n, fmt.Errorf("trace: not a .wtrc trace (bad magic %q)", magic[:])
+	}
+	var ver [4]byte
+	if _, err := io.ReadFull(cr, ver[:]); err != nil {
+		return cr.n, fmt.Errorf("trace: truncated header: %w", readErr(err))
+	}
+	if v := binary.LittleEndian.Uint16(ver[0:]); v != FormatVersion {
+		return cr.n, fmt.Errorf("trace: unsupported .wtrc version %d (this build reads version %d)", v, FormatVersion)
+	}
+	var h header
+	if err := binary.Read(cr, binary.LittleEndian, &h); err != nil {
+		return cr.n, fmt.Errorf("trace: truncated header: %w", readErr(err))
+	}
+	if h.N > maxSaneAccesses || h.Demand > h.N ||
+		h.LenDeltas > maxSaneBytes || h.LenGaps > maxSaneBytes ||
+		h.LenDeltas > 10*h.N || h.LenGaps > 10*h.N || (h.N > 0 && h.LenDeltas == 0) {
+		return cr.n, fmt.Errorf("trace: corrupt .wtrc header (n=%d demand=%d deltas=%d gaps=%d)",
+			h.N, h.Demand, h.LenDeltas, h.LenGaps)
+	}
+	nt := &LLCTrace{
+		Summary: Summary{
+			Instrs:      h.Instrs,
+			RawAccesses: h.RawAccesses,
+			L1Hits:      h.L1Hits,
+			L2Hits:      h.L2Hits,
+			BaseCycles:  h.BaseCycles,
+		},
+		n:      int(h.N),
+		demand: h.Demand,
+		deltas: make([]byte, h.LenDeltas),
+		gaps:   make([]byte, h.LenGaps),
+	}
+	if _, err := io.ReadFull(cr, nt.deltas); err != nil {
+		return cr.n, fmt.Errorf("trace: truncated delta column: %w", readErr(err))
+	}
+	if _, err := io.ReadFull(cr, nt.gaps); err != nil {
+		return cr.n, fmt.Errorf("trace: truncated gap column: %w", readErr(err))
+	}
+	words := (h.N + 63) / 64
+	nt.write = make([]uint64, words)
+	nt.wback = make([]uint64, words)
+	for _, dst := range [][]uint64{nt.write, nt.wback} {
+		if err := binary.Read(cr, binary.LittleEndian, dst); err != nil {
+			return cr.n, fmt.Errorf("trace: truncated flag bitsets: %w", readErr(err))
+		}
+	}
+	want := crc.Sum32()
+	var sum [4]byte
+	if _, err := io.ReadFull(cr, sum[:]); err != nil {
+		return cr.n, fmt.Errorf("trace: truncated checksum: %w", readErr(err))
+	}
+	if got := binary.LittleEndian.Uint32(sum[:]); got != want {
+		return cr.n, fmt.Errorf("trace: .wtrc checksum mismatch (file %08x, computed %08x): corrupt trace", got, want)
+	}
+	if err := nt.validate(); err != nil {
+		return cr.n, err
+	}
+	*t = *nt
+	return cr.n, nil
+}
+
+// validate walks the decoded columns once, checking that the varint
+// streams contain exactly n well-formed records and leaving the encoder
+// state (lastLine) consistent so the trace could even be appended to.
+func (nt *LLCTrace) validate() error {
+	dpos, gpos := 0, 0
+	var line addr.Line
+	var demand uint64
+	for i := 0; i < nt.n; i++ {
+		u, k := binary.Uvarint(nt.deltas[dpos:])
+		if k <= 0 {
+			return fmt.Errorf("trace: corrupt .wtrc delta column at access %d", i)
+		}
+		dpos += k
+		line += addr.Line(unzigzag(u))
+		w := uint(i)
+		if nt.wback[w/64]&(1<<(w%64)) == 0 {
+			g, k := binary.Uvarint(nt.gaps[gpos:])
+			if k <= 0 || g > 1<<32-1 {
+				return fmt.Errorf("trace: corrupt .wtrc gap column at access %d", i)
+			}
+			gpos += k
+			demand++
+		}
+	}
+	if dpos != len(nt.deltas) || gpos != len(nt.gaps) || demand != nt.demand {
+		return fmt.Errorf("trace: corrupt .wtrc payload (column sizes disagree with header)")
+	}
+	nt.lastLine = line
+	return nil
+}
+
+// readErr maps io.EOF to the clearer unexpected-EOF for mid-stream
+// truncation.
+func readErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// WriteFile atomically writes the trace to path in .wtrc format: the
+// bytes land in a temp file in the same directory and are renamed into
+// place, so concurrent readers (parallel sweep workers sharing a trace
+// cache) never observe a partial file.
+func WriteFile(path string, t *LLCTrace) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".wtrc-tmp-*")
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// ReadFile decodes a .wtrc file.
+func ReadFile(path string) (*LLCTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	t := &LLCTrace{}
+	if _, err := t.ReadFrom(f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

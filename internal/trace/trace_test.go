@@ -8,6 +8,18 @@ import (
 
 func mkStream(accs []Access) Stream { return &SliceStream{Accs: accs} }
 
+// collect decodes a trace back into a flat slice via its cursor.
+func collect(tr *LLCTrace) []LLCAccess {
+	var out []LLCAccess
+	for c := tr.NewCursor(); ; {
+		a, ok := c.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, a)
+	}
+}
+
 func TestFilterTinyWorkingSetNeverReachesLLC(t *testing.T) {
 	// 16KB working set fits in L1: after the cold pass nothing reaches
 	// the LLC.
@@ -71,7 +83,7 @@ func TestFilterEmitsWritebacks(t *testing.T) {
 	}
 	tr := FilterPrivate(mkStream(accs))
 	wb := 0
-	for _, a := range tr.Accesses {
+	for _, a := range collect(tr) {
 		if a.Writeback {
 			wb++
 		}
@@ -95,7 +107,7 @@ func TestFilterGapAccounting(t *testing.T) {
 	}
 	// All accesses miss (huge strides): gaps must sum to total instrs.
 	var sum uint64
-	for _, a := range tr.Accesses {
+	for _, a := range collect(tr) {
 		sum += uint64(a.Gap)
 	}
 	if sum != 7000 {
@@ -121,6 +133,101 @@ func TestLLCAPKI(t *testing.T) {
 	apki := tr.LLCAPKI()
 	if apki < 9.9 || apki > 10.1 { // 100 accesses / 10000 instrs * 1000
 		t.Fatalf("APKI = %v, want ~10", apki)
+	}
+}
+
+func TestAppendCursorRoundTrip(t *testing.T) {
+	// Every flag/gap/delta combination, including negative and huge line
+	// jumps (mix offsets live at 1<<44).
+	accs := []LLCAccess{
+		{Line: 100, Gap: 7},
+		{Line: 3, Gap: 0, Write: true},
+		{Line: 1 << 45, Gap: 1 << 31},
+		{Line: 42, Writeback: true},
+		{Line: 42, Gap: 12, Write: true},
+		{Line: 41, Writeback: true},
+	}
+	tr := &LLCTrace{}
+	for _, a := range accs {
+		tr.Append(a)
+	}
+	if tr.NumAccesses() != len(accs) {
+		t.Fatalf("NumAccesses = %d, want %d", tr.NumAccesses(), len(accs))
+	}
+	if tr.DemandAccesses() != 4 {
+		t.Fatalf("demand = %d, want 4", tr.DemandAccesses())
+	}
+	got := collect(tr)
+	for i, a := range accs {
+		if got[i] != a {
+			t.Fatalf("access %d = %+v, want %+v", i, got[i], a)
+		}
+	}
+}
+
+func TestCursorReset(t *testing.T) {
+	tr := &LLCTrace{}
+	for i := 0; i < 100; i++ {
+		tr.Append(LLCAccess{Line: addr.Line(i * i), Gap: uint32(i)})
+	}
+	c := tr.NewCursor()
+	first := make([]LLCAccess, 0, 100)
+	for {
+		a, ok := c.Next()
+		if !ok {
+			break
+		}
+		first = append(first, a)
+	}
+	c.Reset()
+	for i := 0; ; i++ {
+		a, ok := c.Next()
+		if !ok {
+			if i != len(first) {
+				t.Fatalf("second pass ended at %d, want %d", i, len(first))
+			}
+			break
+		}
+		if a != first[i] {
+			t.Fatalf("after Reset access %d = %+v, want %+v", i, a, first[i])
+		}
+	}
+}
+
+func TestOffsetReader(t *testing.T) {
+	tr := &LLCTrace{}
+	tr.Append(LLCAccess{Line: 10, Gap: 5})
+	tr.Append(LLCAccess{Line: 20, Writeback: true})
+	tr.Instrs = 5
+	r := Offset(tr, 1<<44)
+	if r.NumAccesses() != 2 || r.Stats().Instrs != 5 {
+		t.Fatal("offset reader must delegate stats")
+	}
+	c := r.NewCursor()
+	a, _ := c.Next()
+	if a.Line != 10+1<<44 || a.Gap != 5 {
+		t.Fatalf("offset access = %+v", a)
+	}
+	c.Reset()
+	b, _ := c.Next()
+	if b != a {
+		t.Fatalf("offset cursor reset replays %+v, want %+v", b, a)
+	}
+	if Offset(tr, 0) != Reader(tr) {
+		t.Fatal("zero offset should return the reader unchanged")
+	}
+}
+
+func TestEncodedBytesSmallerThanStructs(t *testing.T) {
+	// The columnar form must beat 16-byte structs by a wide margin on a
+	// realistic (mostly local, small-gap) stream.
+	tr := &LLCTrace{}
+	n := 10000
+	for i := 0; i < n; i++ {
+		tr.Append(LLCAccess{Line: addr.Line(i), Gap: 30})
+	}
+	if got, limit := tr.EncodedBytes(), n*8; got >= limit {
+		t.Fatalf("encoded bytes = %d, want < %d (16*n is the struct cost)", got, limit)
 	}
 }
 

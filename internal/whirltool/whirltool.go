@@ -10,7 +10,7 @@
 //   - The runtime maps each allocation to its assigned pool.
 //
 // The paper implements the profiler as a Pintool; here it interposes on
-// the simulated allocator's callpoint tags (see DESIGN.md).
+// the simulated allocator's callpoint tags (see docs/design.md).
 package whirltool
 
 import (

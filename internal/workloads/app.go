@@ -3,7 +3,7 @@
 // tagged with per-structure callpoints) plus a deterministic access-stream
 // generator reproducing the documented pool structure: sizes, access
 // splits, reuse patterns, and phase behaviour (Table 2, Figs 2, 6, 8, 9,
-// 11). See DESIGN.md for why this substitution preserves the experiments.
+// 11). See docs/design.md for why this substitution preserves the experiments.
 package workloads
 
 import (
@@ -101,6 +101,11 @@ type AppSpec struct {
 	// ManualLOC is the paper-reported lines of code changed (Table 2);
 	// zero for apps the paper did not port manually.
 	ManualLOC int
+	// TracePath marks a trace-sourced app: instead of generating a
+	// synthetic stream, the experiments harness replays the recorded
+	// .wtrc file at this path (spec files with "source": "trace").
+	// Trace-sourced apps have no structures; scale and seed are inert.
+	TracePath string
 }
 
 // Workload is a built app: structures allocated in a simulated address
@@ -168,8 +173,15 @@ type gen struct {
 }
 
 // Stream returns a fresh deterministic access stream for the workload.
-// Streams with the same seed are identical.
+// Streams with the same seed are identical. Trace-sourced workloads
+// (AppSpec.TracePath) have no generator: their stream is empty, and the
+// harness replays the recorded LLC trace instead. A synthetic spec
+// without structs or phases is a construction error and still panics
+// loudly rather than generating an empty (silently wrong) stream.
 func (w *Workload) Stream(seed uint64) trace.Stream {
+	if w.Spec.TracePath != "" {
+		return &trace.SliceStream{}
+	}
 	g := &gen{
 		w:         w,
 		rng:       stats.NewRng(seed ^ stats.Hash64(hashName(w.Spec.Name))),

@@ -179,8 +179,9 @@ func (k harnessKey) withDefaults() harnessKey {
 }
 
 var (
-	harnessMu sync.Mutex
-	harnesses = map[harnessKey]*experiments.Harness{}
+	harnessMu     sync.Mutex
+	harnesses     = map[harnessKey]*experiments.Harness{}
+	traceCacheDir string
 )
 
 func harnessFor(k harnessKey) *experiments.Harness {
@@ -192,9 +193,39 @@ func harnessFor(k harnessKey) *experiments.Harness {
 		h = experiments.NewHarness(k.scale)
 		h.Seed = k.seed
 		h.ReconfigCycles = k.reconfig
+		h.CacheDir = traceCacheDir
 		harnesses[k] = h
 	}
 	return h
+}
+
+// SetTraceCacheDir points every harness (current and future) at an
+// on-disk trace cache: generated traces are written there as
+// content-addressed .wtrc files and streamed back by later runs and
+// processes instead of being regenerated. Empty disables caching for
+// future harnesses. The cache is safe to share between concurrent
+// processes (writes are atomic) and to delete at any time.
+func SetTraceCacheDir(dir string) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	traceCacheDir = dir
+	for _, h := range harnesses {
+		h.SetCacheDir(dir)
+	}
+}
+
+// TraceCacheStats aggregates trace provenance over every harness: how
+// many traces were generated in-process vs streamed from the trace
+// cache.
+func TraceCacheStats() (built, fromCache int64) {
+	harnessMu.Lock()
+	defer harnessMu.Unlock()
+	for _, h := range harnesses {
+		s := h.CacheStats()
+		built += s.Builds
+		fromCache += s.DiskHits
+	}
+	return built, fromCache
 }
 
 // invalidateApps drops the named apps from every cached harness, so
