@@ -3,10 +3,16 @@
 
 GO ?= go
 
-.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke ci
+# Build identity, stamped into every binary's -version output via the
+# shared cliutil helper (CI runs these same targets, so release and CI
+# builds report the commit they were built from).
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -ldflags "-X whirlpool/internal/cliutil.buildVersion=$(VERSION)"
+
+.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke serve-smoke ci
 
 build:
-	$(GO) build ./...
+	$(GO) build $(LDFLAGS) ./...
 
 # ./... already covers examples/, but an explicit target keeps example
 # drift visible as its own CI step.
@@ -17,9 +23,10 @@ test:
 	$(GO) test ./...
 
 # The concurrency hot spots: the sweep worker pool and the per-app
-# once-cache in the experiments harness.
+# once-cache in the experiments harness, the result store's concurrent
+# writers, and the daemon's job pool + SSE broadcast.
 race:
-	$(GO) test -race -count=1 ./internal/experiments/...
+	$(GO) test -race -count=1 ./internal/experiments/... ./internal/results/ ./internal/server/
 
 vet:
 	$(GO) vet ./...
@@ -67,6 +74,12 @@ smoke:
 	! $(GO) run ./cmd/whirlsim -app nosuchapp -scale 0.05 2>/dev/null
 	! $(GO) run ./cmd/whirlsweep -apps nosuchapp -q 2>/dev/null
 	! $(GO) run ./cmd/whirlsim -chip 1x1 -scale 0.05 2>/dev/null
+	$(GO) run $(LDFLAGS) ./cmd/whirlsim -version | grep -q '^whirlsim '
+	$(GO) run ./cmd/whirlsweep -version | grep -q '^whirlsweep dev'
+	$(GO) run ./cmd/whirlbench -version | grep -q '^whirlbench '
+	$(GO) run ./cmd/whirltool -version | grep -q '^whirltool '
+	$(GO) run ./cmd/whirld -version | grep -q '^whirld '
+	! $(GO) run ./cmd/whirld -store '' 2>/dev/null
 	@echo "smoke OK"
 
 # Record/replay smoke: a trace recorded with `whirltool trace record`
@@ -97,4 +110,11 @@ trace-smoke:
 	rm -rf .trace-smoke
 	@echo "trace-smoke OK"
 
-ci: build examples vet fmt-check test race bench smoke trace-smoke
+# Serving smoke: start whirld, submit a sweep over HTTP, await the SSE
+# stream, diff the rows (timing stripped) against a direct whirlsweep
+# run, then resubmit against the warm store and assert zero
+# re-simulations. See scripts/serve-smoke.sh.
+serve-smoke:
+	GO="$(GO)" sh scripts/serve-smoke.sh
+
+ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke

@@ -25,7 +25,9 @@ func main() {
 	apps := flag.String("apps", "", "comma-separated app subset for suite figures")
 	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
 	listFigs := flag.Bool("listfigs", false, "list figure ids and exit")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.HandleVersion("whirlbench", *version)
 
 	if dir, err := cliutil.ResolveTraceCacheDir(*traceCache); err != nil {
 		fmt.Fprintln(os.Stderr, "whirlbench:", err)

@@ -1,0 +1,113 @@
+// Command whirld is the Whirlpool serving daemon: it runs, memoizes,
+// and streams experiments over HTTP. Sweeps submitted to POST
+// /v1/sweeps run as async jobs on a bounded worker pool; every
+// computed row is committed to a persistent content-addressed result
+// store, and any cell already in the store is served without
+// re-simulation — the same store whirlsweep -store reads and writes,
+// so the CLI and the daemon share one result universe.
+//
+// Usage:
+//
+//	whirld                                   # 127.0.0.1:8080, store under the user cache dir
+//	whirld -addr :9090 -store ./store -trace-cache auto -workers 8
+//	curl -X POST -d '{"apps":["delaunay"],"scale":0.1}' localhost:8080/v1/sweeps
+//	curl -N localhost:8080/v1/jobs/j1/stream # SSE rows as cells finish
+//
+// See docs/server.md for the API reference.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"whirlpool/internal/cliutil"
+	"whirlpool/internal/results"
+	"whirlpool/internal/server"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "whirld:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
+	storeFlag := flag.String("store", "auto", cliutil.StoreUsage)
+	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers per job")
+	queue := flag.Int("queue", 64, "max queued jobs before submits get 503")
+	version := cliutil.VersionFlag()
+	flag.Parse()
+	cliutil.HandleVersion("whirld", *version)
+
+	storeDir, err := cliutil.ResolveStoreDir(*storeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	if storeDir == "" {
+		fatal(fmt.Errorf("whirld needs a result store (-store DIR, or -store auto)"))
+	}
+	store, err := results.Open(storeDir)
+	if err != nil {
+		fatal(err)
+	}
+	cacheDir, err := cliutil.ResolveTraceCacheDir(*traceCache)
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		Store:         store,
+		TraceCacheDir: cacheDir,
+		Workers:       *workers,
+		QueueDepth:    *queue,
+		Version:       cliutil.Version(),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The bound address goes to stdout (scripts parse it, especially
+	// with -addr :0); everything else logs to stderr.
+	fmt.Printf("whirld: listening on %s\n", ln.Addr())
+	fmt.Fprintf(os.Stderr, "whirld: store %s (%d rows), trace cache %q, %d workers\n",
+		storeDir, store.Len(), cacheDir, *workers)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "whirld: shutting down (in-flight rows are committed; resubmit to resume)")
+	case err := <-errc:
+		store.Close()
+		fatal(err)
+	}
+
+	// Graceful shutdown: cancel jobs first (their committed rows are
+	// already in the store), which ends SSE streams, then drain HTTP.
+	srv.Close()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "whirld: shutdown:", err)
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "whirld: store close:", err)
+	}
+}

@@ -37,7 +37,9 @@ func main() {
 	pools := flag.Int("auto", 0, "classify with WhirlTool into N pools (whirlpool scheme)")
 	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
 	list := flag.Bool("list", false, "list available apps and schemes, then exit")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.HandleVersion("whirlsim", *version)
 
 	if dir, err := cliutil.ResolveTraceCacheDir(*traceCache); err != nil {
 		fatal(err)

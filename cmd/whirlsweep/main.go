@@ -9,6 +9,7 @@
 //	whirlsweep -apps delaunay,MIS,mcf                    # 3 apps × 6 schemes
 //	whirlsweep -apps all -schemes jigsaw,whirlpool -format csv -o out.csv
 //	whirlsweep -spec specs/multitenant-kv.json -mix all  # sweep the file's mixes
+//	whirlsweep -apps all -store auto                     # memoize rows; warm cells skip simulation
 //	whirlsweep -dump-builtin > specs/builtin.json        # export the suite
 package main
 
@@ -27,6 +28,7 @@ import (
 
 	"whirlpool/internal/cliutil"
 	"whirlpool/internal/experiments"
+	"whirlpool/internal/results"
 	"whirlpool/internal/schemes"
 	"whirlpool/internal/spec"
 	"whirlpool/internal/workloads"
@@ -49,9 +51,12 @@ func main() {
 	out := flag.String("o", "", "write results to this file (default: stdout)")
 	noBypass := flag.Bool("nobypass", false, "disable VC bypassing in every run (ablation)")
 	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
+	storeFlag := flag.String("store", "", cliutil.StoreUsage)
 	quiet := flag.Bool("q", false, "suppress progress output on stderr")
 	dumpBuiltin := flag.Bool("dump-builtin", false, "print the built-in suite as a spec file and exit")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.HandleVersion("whirlsweep", *version)
 
 	if *dumpBuiltin {
 		data, err := spec.Encode(spec.Builtin())
@@ -166,8 +171,27 @@ func main() {
 		fatal(err)
 	}
 	h.CacheDir = cacheDir
+	storeDir, err := cliutil.ResolveStoreDir(*storeFlag)
+	if err != nil {
+		fatal(err)
+	}
+	var store *results.Store
+	var sweepStats experiments.SweepStats
+	if storeDir != "" {
+		store, err = results.Open(storeDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer store.Close()
+		cfg.Store = store
+		cfg.Stats = &sweepStats
+	}
 	start := time.Now()
 	rows, sweepErr := h.Sweep(cfg)
+	if store != nil && !*quiet {
+		fmt.Fprintf(os.Stderr, "whirlsweep: results: %d served from %s, %d computed\n",
+			sweepStats.Served, storeDir, sweepStats.Computed)
+	}
 	if cacheDir != "" && !*quiet {
 		s := h.CacheStats()
 		fmt.Fprintf(os.Stderr, "whirlsweep: traces: %d generated, %d streamed from %s\n",

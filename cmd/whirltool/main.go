@@ -57,7 +57,9 @@ func classifyCmd() {
 	pools := flag.Int("pools", 3, "number of pools to produce")
 	scale := flag.Float64("scale", 1.0, "profiling run length multiplier")
 	seed := flag.Uint64("seed", 0, "workload generation seed (0 = the published default)")
+	version := cliutil.VersionFlag()
 	flag.Parse()
+	cliutil.HandleVersion("whirltool", *version)
 
 	opts := []whirlpool.Option{whirlpool.WithScale(*scale)}
 	if *seed != 0 {

@@ -3,6 +3,7 @@ package whirlpool
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 
 	"whirlpool/internal/experiments"
 	"whirlpool/internal/workloads"
@@ -182,7 +183,7 @@ func (e *Experiment) Run() (Report, error) {
 	return e.runScheme(e.scheme)
 }
 
-func (e *Experiment) runScheme(s Scheme) (Report, error) {
+func (e *Experiment) runScheme(s Scheme) (rep Report, err error) {
 	k, err := s.kind()
 	if err != nil {
 		return Report{}, err
@@ -190,6 +191,15 @@ func (e *Experiment) runScheme(s Scheme) (Report, error) {
 	if err := e.checkCtx(); err != nil {
 		return Report{}, err
 	}
+	// Panics from deep inside the harness (a bad pool grouping, a
+	// malformed registered spec) must surface as errors with the panic
+	// site attached, like the sweep engine's error rows — not crash the
+	// caller's process.
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = Report{}, fmt.Errorf("whirlpool: %s under %s panicked: %v\n%s", e.app, s, r, debug.Stack())
+		}
+	}()
 	h := e.harness()
 	// Resolve the trace up front: building can fail at run time (e.g. a
 	// trace-sourced app whose .wtrc file is missing or corrupt), and that
@@ -211,7 +221,7 @@ func (e *Experiment) runScheme(s Scheme) (Report, error) {
 		ro.Grouping = h.WhirlToolGrouping(e.app, e.autoClassify, true)
 	}
 	r := h.RunSingle(e.app, k, ro)
-	rep := report(e.app, s, r)
+	rep = report(e.app, s, r)
 	if e.observer != nil {
 		e.observer(rep)
 	}

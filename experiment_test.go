@@ -312,3 +312,27 @@ func TestClassifyTraceAppErrors(t *testing.T) {
 		t.Fatalf("plain run of trace app: %v", err)
 	}
 }
+
+// TestRunPanicsBecomeErrors: the same failure class the sweep engine
+// converts into error rows (a pool grouping referencing a struct index
+// that does not exist) must surface from the public Run path as an
+// error naming the panic site — not crash the caller's process.
+func TestRunPanicsBecomeErrors(t *testing.T) {
+	_, err := whirlpool.New("delaunay", whirlpool.Whirlpool,
+		whirlpool.WithPools([]int{99}),
+	).Run()
+	if err == nil {
+		t.Fatal("out-of-range pool grouping: Run returned nil error")
+	}
+	if !strings.Contains(err.Error(), "bad struct index") {
+		t.Errorf("error lost the panic value: %v", err)
+	}
+	if !strings.Contains(err.Error(), "CallpointPools") {
+		t.Errorf("error lost the panic site stack: %.200v", err)
+	}
+	// Compare goes through the same guarded path.
+	if _, err := whirlpool.New("delaunay", whirlpool.Whirlpool,
+		whirlpool.WithPools([]int{99})).Compare(); err == nil {
+		t.Fatal("Compare with a panicking cell returned nil error")
+	}
+}

@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+)
+
+// buildVersion is stamped at link time by the Makefile (and CI, which
+// runs the same targets):
+//
+//	go build -ldflags "-X whirlpool/internal/cliutil.buildVersion=<v>"
+//
+// Unstamped builds (plain `go build`, `go run`, tests) report "dev".
+var buildVersion = "dev"
+
+// Version returns the build identity shared by every binary: the
+// stamped version, the VCS revision the Go toolchain baked in (when
+// built from a checkout), and the toolchain version.
+func Version() string {
+	v := buildVersion
+	if info, ok := debug.ReadBuildInfo(); ok {
+		var rev, dirty string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					dirty = "+dirty"
+				}
+			}
+		}
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if rev != "" {
+			v += " (" + rev + dirty + ")"
+		}
+	}
+	return v + " " + runtime.Version()
+}
+
+// VersionFlag registers the shared -version flag; call before
+// flag.Parse and pass the result to HandleVersion after.
+func VersionFlag() *bool {
+	return flag.Bool("version", false, "print build version and exit")
+}
+
+// HandleVersion prints "<prog> <version>" and exits 0 when show is
+// set; a no-op otherwise.
+func HandleVersion(prog string, show bool) {
+	if show {
+		fmt.Printf("%s %s\n", prog, Version())
+		os.Exit(0)
+	}
+}

@@ -12,18 +12,33 @@ import (
 // TraceCacheUsage is the shared help text for the -trace-cache flag.
 const TraceCacheUsage = "on-disk trace cache directory ('auto' = the user cache dir; empty = disabled)"
 
+// StoreUsage is the shared help text for the -store flag.
+const StoreUsage = "result store directory: finished rows are memoized there and served without re-simulation ('auto' = the user cache dir; empty = disabled)"
+
 // ResolveTraceCacheDir maps a -trace-cache flag value to a directory:
 // "" stays disabled, "auto" resolves to <user cache dir>/whirlpool/traces,
 // anything else is used as given.
 func ResolveTraceCacheDir(v string) (string, error) {
+	return resolveAuto(v, "-trace-cache", "traces")
+}
+
+// ResolveStoreDir maps a -store flag value to a directory: "" stays
+// disabled, "auto" resolves to <user cache dir>/whirlpool/results,
+// anything else is used as given. whirlsweep and whirld resolve the
+// same default, so the CLI and the daemon share one result universe.
+func ResolveStoreDir(v string) (string, error) {
+	return resolveAuto(v, "-store", "results")
+}
+
+func resolveAuto(v, flagName, sub string) (string, error) {
 	if v != "auto" {
 		return v, nil
 	}
 	base, err := os.UserCacheDir()
 	if err != nil {
-		return "", fmt.Errorf("-trace-cache auto: %v", err)
+		return "", fmt.Errorf("%s auto: %v", flagName, err)
 	}
-	return filepath.Join(base, "whirlpool", "traces"), nil
+	return filepath.Join(base, "whirlpool", sub), nil
 }
 
 // SplitList splits a comma-separated flag value, trimming whitespace

@@ -297,6 +297,7 @@ func TestDiskTraceCacheWriteFailureDegrades(t *testing.T) {
 // checks it replays bit-identically to the app it was recorded from
 // (under a classification-independent scheme).
 func TestTraceSourcedApp(t *testing.T) {
+	t.Cleanup(workloads.SnapshotRegistry())
 	dir := t.TempDir()
 	rec := NewHarness(0.05)
 	at, err := rec.AppErr("delaunay")
@@ -326,6 +327,7 @@ func TestTraceSourcedApp(t *testing.T) {
 // every scheme — including Whirlpool, whose classifier must not probe
 // the (empty) simulated address space — alone and inside a mix.
 func TestTraceSourcedAppAllSchemes(t *testing.T) {
+	t.Cleanup(workloads.SnapshotRegistry())
 	dir := t.TempDir()
 	rec := NewHarness(0.02)
 	path := filepath.Join(dir, "hull.wtrc")
@@ -350,6 +352,7 @@ func TestTraceSourcedAppAllSchemes(t *testing.T) {
 
 // TestTraceSourcedAppMissingFile: a bad trace path errors cleanly.
 func TestTraceSourcedAppMissingFile(t *testing.T) {
+	t.Cleanup(workloads.SnapshotRegistry())
 	if err := workloads.Register(workloads.AppSpec{Name: "bad-trace", TracePath: "/nonexistent/x.wtrc"}); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"whirlpool/internal/noc"
+	"whirlpool/internal/results"
+	"whirlpool/internal/workloads"
+)
+
+// sweepRowVersion versions SweepRow's semantic content inside result
+// store keys. Bump it whenever a row field changes meaning (not just
+// formatting), so stale stores recompute instead of serving rows whose
+// numbers no longer mean what the reader thinks.
+const sweepRowVersion = 1
+
+// chipKey is a stable textual description of a topology for hashing:
+// mesh dimensions, core count, and bank capacity pin down everything
+// that influences simulation results.
+func chipKey(c *noc.Chip) string {
+	return fmt.Sprintf("%dx%d:%d:%d", c.Mesh.W, c.Mesh.H, c.NCores(), c.BankBytes)
+}
+
+// traceDigest hashes one .wtrc recording, memoizing per path in memo
+// so a sweep crossing a trace-sourced app with many schemes reads the
+// file once, not once per cell.
+func traceDigest(path string, memo map[string]string) (string, error) {
+	if dg, ok := memo[path]; ok {
+		return dg, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	d := sha256.New()
+	if _, err := io.Copy(d, f); err != nil {
+		return "", err
+	}
+	dg := hex.EncodeToString(d.Sum(nil))
+	memo[path] = dg
+	return dg, nil
+}
+
+// cellKey content-addresses one sweep cell the same way the trace cache
+// addresses traces: sha256 over every input that influences the row —
+// the full workload spec JSON (all member specs for mixes, plus pins
+// and the mix name, which is the row's identity column), the scheme id,
+// scale, seed, reconfig period, bypass setting, chip topology, and the
+// row format version. Two cells with equal keys are bit-identical
+// simulations. memo caches .wtrc digests across cells of one lookup
+// pass.
+func (h *Harness) cellKey(j sweepJob, noBypass bool, memo map[string]string) (string, error) {
+	d := sha256.New()
+	fmt.Fprintf(d, "wrow%d|scale=%g|seed=%d|reconfig=%d|nobypass=%t|scheme=%s|",
+		sweepRowVersion, h.Scale, h.Seed, h.ReconfigCycles, noBypass, j.kind.ID())
+	writeSpec := func(name string) error {
+		spec, ok := workloads.ByName(name)
+		if !ok {
+			return fmt.Errorf("experiments: unknown app %q while keying cell", name)
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			return err
+		}
+		d.Write(data)
+		d.Write([]byte{'|'})
+		if spec.TracePath != "" {
+			// A trace-sourced app's identity is the recording, not its
+			// path: re-recording the same file must change the key, or a
+			// warm store would serve the old recording's rows forever
+			// (the harness deliberately re-reads .wtrc files fresh each
+			// run for the same reason). Unreadable files make the cell
+			// uncacheable; the run then fails with the real error.
+			dg, err := traceDigest(spec.TracePath, memo)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(d, "%s|", dg)
+		}
+		return nil
+	}
+	if j.mix != nil {
+		fmt.Fprintf(d, "mix=%s|pins=%v|chip=%s|", j.mix.Name, j.mix.Pins, chipKey(mixChip(j.mix)))
+		for _, a := range j.mix.Apps {
+			if err := writeSpec(a); err != nil {
+				return "", err
+			}
+		}
+	} else {
+		// Single-app cells always run on core 0 of the default 4-core
+		// chip (RunSingle with no override).
+		fmt.Fprintf(d, "app|chip=%s|", chipKey(noc.FourCoreChip()))
+		if err := writeSpec(j.app); err != nil {
+			return "", err
+		}
+	}
+	return hex.EncodeToString(d.Sum(nil)), nil
+}
+
+// storeLookup prefills rows for every cell already present in the
+// store, returning which cells were served and each cell's key. A
+// served cell costs one store Get: no trace generation, no simulation.
+// Records that fail to decode (or memoized error rows, which are never
+// written but could exist in a hand-edited store) are recomputed.
+func (h *Harness) storeLookup(store *results.Store, jobs []sweepJob, noBypass bool, rows []SweepRow) (served []bool, keys []string) {
+	served = make([]bool, len(jobs))
+	keys = make([]string, len(jobs))
+	traceMemo := map[string]string{}
+	for i, j := range jobs {
+		key, err := h.cellKey(j, noBypass, traceMemo)
+		if err != nil {
+			continue // uncacheable: compute, don't store
+		}
+		keys[i] = key
+		rec, ok := store.Get(key)
+		if !ok {
+			continue
+		}
+		var row SweepRow
+		if json.Unmarshal(rec.Row, &row) != nil || row.Err != "" {
+			continue
+		}
+		rows[i] = row
+		served[i] = true
+	}
+	return served, keys
+}
+
+// storeCommit appends one freshly computed row under its cell key.
+// Error rows are never memoized (the failure may be environmental), and
+// store write failures degrade to uncached operation — observable as
+// Stats().Puts lagging Misses — rather than failing the sweep.
+func storeCommit(store *results.Store, key string, row SweepRow) {
+	if key == "" || row.Err != "" {
+		return
+	}
+	data, err := json.Marshal(row)
+	if err != nil {
+		return
+	}
+	_ = store.Put(results.Record{
+		Key:    key,
+		App:    row.App,
+		Scheme: row.Scheme,
+		Unix:   time.Now().Unix(),
+		Row:    data,
+	})
+}

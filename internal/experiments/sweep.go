@@ -4,11 +4,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
 
 	"whirlpool/internal/noc"
+	"whirlpool/internal/results"
 	"whirlpool/internal/schemes"
 	"whirlpool/internal/sim"
 	"whirlpool/internal/workloads"
@@ -47,6 +49,33 @@ type SweepConfig struct {
 	// not yet started are marked with Err "canceled", and Sweep returns
 	// the context's error alongside the partial rows.
 	Context context.Context
+	// Store, if set, memoizes cells in a persistent result store: any
+	// cell whose content-address (spec JSON × scheme × scale × seed ×
+	// reconfig × chip × format version) is already present is served
+	// without regenerating its trace or simulating anything, and each
+	// freshly computed row is committed as it finishes — including
+	// mid-sweep cancellation, so a resubmitted sweep resumes where the
+	// canceled one stopped. Store.Stats() proves the split: Hits rows
+	// were served, Misses were computed. Error rows are never memoized.
+	Store *results.Store
+	// Stats, if non-nil, is filled with this sweep's cell-resolution
+	// summary before Sweep returns (per-sweep accounting even when the
+	// Store is shared by concurrent sweeps).
+	Stats *SweepStats
+}
+
+// SweepStats summarizes how one sweep's cells were resolved.
+type SweepStats struct {
+	// Served cells came from the result store: no trace generation, no
+	// simulation.
+	Served int `json:"served"`
+	// Computed cells were simulated (and committed to the store when
+	// one is configured).
+	Computed int `json:"computed"`
+	// Errors counts cells that failed (error rows).
+	Errors int `json:"errors"`
+	// Canceled counts cells skipped by context cancellation.
+	Canceled int `json:"canceled"`
 }
 
 // SweepRow is one (app-or-mix, scheme) cell of a sweep's result grid.
@@ -191,9 +220,46 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Stage 1: build every needed trace concurrently, each exactly once.
-	names := make([]string, 0, len(needed))
-	for a := range needed {
+	// The grid, in deterministic order: apps first, then mixes.
+	var jobs []sweepJob
+	for _, a := range cfg.Apps {
+		for _, k := range kinds {
+			jobs = append(jobs, sweepJob{app: a, kind: k})
+		}
+	}
+	for i := range cfg.Mixes {
+		for _, k := range kinds {
+			jobs = append(jobs, sweepJob{mix: &cfg.Mixes[i], kind: k})
+		}
+	}
+	rows := make([]SweepRow, len(jobs))
+
+	// Stage 0: serve memoized cells from the result store. This happens
+	// before trace prefetch so a fully warm store costs zero trace
+	// generations as well as zero simulations.
+	var served []bool
+	var keys []string
+	if cfg.Store != nil {
+		served, keys = h.storeLookup(cfg.Store, jobs, cfg.NoBypass, rows)
+	}
+
+	// Stage 1: build every trace an unserved cell needs, concurrently,
+	// each exactly once.
+	prefetchNeeded := map[string]bool{}
+	for i, j := range jobs {
+		if served != nil && served[i] {
+			continue
+		}
+		if j.mix != nil {
+			for _, a := range j.mix.Apps {
+				prefetchNeeded[a] = true
+			}
+		} else {
+			prefetchNeeded[j.app] = true
+		}
+	}
+	names := make([]string, 0, len(prefetchNeeded))
+	for a := range prefetchNeeded {
 		names = append(names, a)
 	}
 	sort.Strings(names)
@@ -217,25 +283,24 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 	}
 	wg.Wait()
 
-	// Stage 2: the grid.
-	var jobs []sweepJob
-	for _, a := range cfg.Apps {
-		for _, k := range kinds {
-			jobs = append(jobs, sweepJob{app: a, kind: k})
+	// Stage 2: run the unserved cells. Served rows stream through OnRow
+	// first (they are done by definition), in grid order.
+	var done int
+	for i := range jobs {
+		if served != nil && served[i] {
+			done++
+			if cfg.OnRow != nil {
+				cfg.OnRow(done, len(jobs), rows[i])
+			}
 		}
 	}
-	for i := range cfg.Mixes {
-		for _, k := range kinds {
-			jobs = append(jobs, sweepJob{mix: &cfg.Mixes[i], kind: k})
-		}
-	}
-	rows := make([]SweepRow, len(jobs))
 	idx := make(chan int, len(jobs))
 	for i := range jobs {
-		idx <- i
+		if served == nil || !served[i] {
+			idx <- i
+		}
 	}
 	close(idx)
-	var done int
 	var progressMu sync.Mutex
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -252,6 +317,9 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 					continue
 				}
 				rows[i] = h.runSweepJob(jobs[i], cfg.NoBypass)
+				if cfg.Store != nil {
+					storeCommit(cfg.Store, keys[i], rows[i])
+				}
 				progressMu.Lock()
 				done++
 				if cfg.OnRow != nil {
@@ -262,6 +330,22 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 		}()
 	}
 	wg.Wait()
+	if cfg.Stats != nil {
+		st := SweepStats{}
+		for i, r := range rows {
+			switch {
+			case served != nil && served[i]:
+				st.Served++
+			case r.Err == "canceled":
+				st.Canceled++
+			case r.Err != "":
+				st.Errors++
+			default:
+				st.Computed++
+			}
+		}
+		*cfg.Stats = st
+	}
 	if err := ctx.Err(); err != nil {
 		return rows, fmt.Errorf("experiments: sweep canceled after %d of %d cells: %w", done, len(jobs), err)
 	}
@@ -270,6 +354,9 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 
 // runSweepJob executes one cell, converting panics from deep inside the
 // simulator into error rows so one bad cell cannot take down a sweep.
+// The panic site's stack rides along in the error row: without it a
+// sweep-reported failure is undebuggable, because recover() by itself
+// discards where the panic happened.
 func (h *Harness) runSweepJob(j sweepJob, noBypass bool) (row SweepRow) {
 	name := j.app
 	if j.mix != nil {
@@ -277,7 +364,8 @@ func (h *Harness) runSweepJob(j sweepJob, noBypass bool) (row SweepRow) {
 	}
 	defer func() {
 		if r := recover(); r != nil {
-			row = SweepRow{App: name, Scheme: j.kind.ID(), Mix: j.mix != nil, Err: fmt.Sprint(r)}
+			row = SweepRow{App: name, Scheme: j.kind.ID(), Mix: j.mix != nil,
+				Err: fmt.Sprintf("panic: %v\n%s", r, debug.Stack())}
 		}
 	}()
 	start := time.Now()

@@ -1,0 +1,419 @@
+// Package results is the persistent half of the experiment pipeline: a
+// content-addressed, append-only store of finished sweep rows. Every
+// input to a sweep cell is hashable (the workload spec JSON, the scheme
+// id, scale, seed, reconfig period, chip topology, format version — see
+// internal/experiments.CellKey), so a cell's result can be memoized
+// under that digest and served forever after without re-simulation, by
+// any process sharing the store directory.
+//
+// On disk a store is two files under one directory:
+//
+//	rows.jsonl  — one JSON record per line, append-only, the source of
+//	              truth. Writers append whole lines with O_APPEND, so
+//	              concurrent processes interleave records, never bytes.
+//	index.json  — a snapshot of the decoded records plus the rows.jsonl
+//	              byte offset it covers. Purely an open-time
+//	              accelerator: a missing, corrupt, or stale index is
+//	              rebuilt from rows.jsonl and never loses data.
+//
+// Torn writes (a process killed mid-append) surface as unparsable
+// JSONL lines; they are skipped and counted, and the next Open heals
+// the file tail so later appends stay line-aligned.
+package results
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FormatVersion is the store's on-disk schema version; records and
+// index snapshots from other versions are ignored (and rebuilt where
+// possible) rather than misread.
+const FormatVersion = 1
+
+// snapshotEvery bounds index staleness: a snapshot is rewritten after
+// this many appends (and on Close), so reopening a long-lived store
+// replays at most this many JSONL lines.
+const snapshotEvery = 64
+
+// Record is one stored result row.
+type Record struct {
+	// Key is the content-address of the cell that produced the row
+	// (experiments.CellKey): two records with equal keys describe the
+	// same simulation and carry equal rows.
+	Key string `json:"key"`
+	// App and Scheme duplicate the row's identity columns so queries
+	// can filter without decoding Row.
+	App    string `json:"app"`
+	Scheme string `json:"scheme"`
+	// Unix is the append time in seconds (informational only; it is not
+	// part of the identity and never affects serving).
+	Unix int64 `json:"unix,omitempty"`
+	// Row is the full metric row as produced by the sweep engine
+	// (experiments.SweepRow JSON: MPKI, cycles, NoC/energy breakdowns).
+	Row json.RawMessage `json:"row"`
+}
+
+// Query filters Records; zero fields match everything.
+type Query struct {
+	App    string
+	Scheme string
+	Key    string
+	// Limit caps the result count; 0 means unlimited.
+	Limit int
+}
+
+// Stats are the store's observability counters. ServeHits/Misses prove
+// memoization the same way harness CacheStats prove trace caching: a
+// sweep resubmitted against a warm store shows Misses == 0.
+type Stats struct {
+	// Hits counts Get calls that found a record (rows served without
+	// simulation when the caller is the sweep engine).
+	Hits int64
+	// Misses counts Get calls that found nothing (each one corresponds
+	// to a freshly computed row on the sweep path).
+	Misses int64
+	// Puts counts records appended by this handle.
+	Puts int64
+	// CorruptRows counts unparsable JSONL lines skipped while loading
+	// (torn writes from killed processes; the data before and after
+	// them is unaffected).
+	CorruptRows int64
+	// IndexRebuilds counts opens that could not use index.json (missing,
+	// corrupt, or stale) and rescanned rows.jsonl from the start.
+	IndexRebuilds int64
+	// Records is the number of distinct keys currently loaded.
+	Records int
+}
+
+// Store is an open result store. It is safe for concurrent use by
+// multiple goroutines, and the directory is safe to share between
+// concurrent processes: appends are atomic whole lines, and readers
+// pick up other writers' records on open and on demand via Refresh.
+type Store struct {
+	dir string
+
+	mu       sync.Mutex
+	f        *os.File // rows.jsonl, O_APPEND
+	byKey    map[string]int
+	recs     []Record // insertion order; byKey points into it
+	loaded   int64    // rows.jsonl bytes consumed into recs
+	sinceSnp int      // appends since the last index snapshot
+	closed   bool
+
+	hits, misses, puts, corrupt, rebuilds int64
+}
+
+func (s *Store) rowsPath() string  { return filepath.Join(s.dir, "rows.jsonl") }
+func (s *Store) indexPath() string { return filepath.Join(s.dir, "index.json") }
+
+// index is the snapshot schema.
+type index struct {
+	Version int      `json:"version"`
+	Offset  int64    `json:"offset"` // rows.jsonl bytes the snapshot covers
+	Records []Record `json:"records"`
+}
+
+// Open opens (creating if needed) the store rooted at dir, loading
+// existing records via the index snapshot plus a tail scan of
+// rows.jsonl — or a full scan when the snapshot is unusable.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("results: store directory must be non-empty")
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("results: %v", err)
+	}
+	s := &Store{dir: dir, byKey: make(map[string]int)}
+	f, err := os.OpenFile(s.rowsPath(), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o666)
+	if err != nil {
+		return nil, fmt.Errorf("results: %v", err)
+	}
+	s.f = f
+	if err := s.healTail(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.loadIndex()
+	if _, err := s.scanTail(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// healTail line-aligns rows.jsonl: if the last append was torn (no
+// trailing newline), a plain O_APPEND write would fuse with it and
+// corrupt a *good* record, so terminate the partial line now. The
+// partial line itself is skipped (and counted) by the scanner.
+func (s *Store) healTail() error {
+	st, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("results: %v", err)
+	}
+	if st.Size() == 0 {
+		return nil
+	}
+	buf := make([]byte, 1)
+	if _, err := s.f.ReadAt(buf, st.Size()-1); err != nil {
+		return fmt.Errorf("results: %v", err)
+	}
+	if buf[0] != '\n' {
+		if _, err := s.f.Write([]byte("\n")); err != nil {
+			return fmt.Errorf("results: healing torn tail: %v", err)
+		}
+	}
+	return nil
+}
+
+// loadIndex seeds the in-memory map from index.json when it is valid
+// and consistent with rows.jsonl; otherwise it leaves the store empty
+// (offset 0) so scanTail rebuilds everything. Never fails: the index
+// is an accelerator, rows.jsonl is the truth.
+func (s *Store) loadIndex() {
+	data, err := os.ReadFile(s.indexPath())
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.rebuilds++
+		}
+		return
+	}
+	var ix index
+	if json.Unmarshal(data, &ix) != nil || ix.Version != FormatVersion || ix.Offset < 0 {
+		s.rebuilds++
+		return
+	}
+	st, err := s.f.Stat()
+	if err != nil || ix.Offset > st.Size() {
+		// The snapshot claims more bytes than rows.jsonl holds — the
+		// JSONL was truncated or replaced. Distrust the whole snapshot.
+		s.rebuilds++
+		return
+	}
+	for _, r := range ix.Records {
+		if r.Key == "" {
+			s.rebuilds++
+			s.byKey = make(map[string]int)
+			s.recs = nil
+			return
+		}
+		s.insert(r)
+	}
+	s.loaded = ix.Offset
+}
+
+// insert adds or replaces (last writer wins) one record in memory.
+func (s *Store) insert(r Record) {
+	if i, ok := s.byKey[r.Key]; ok {
+		s.recs[i] = r
+		return
+	}
+	s.byKey[r.Key] = len(s.recs)
+	s.recs = append(s.recs, r)
+}
+
+// scanTail decodes rows.jsonl from s.loaded to EOF, folding new records
+// into memory and skipping (but counting) corrupt lines. Returns how
+// many records it decoded.
+func (s *Store) scanTail() (int, error) {
+	st, err := s.f.Stat()
+	if err != nil {
+		return 0, fmt.Errorf("results: %v", err)
+	}
+	if st.Size() < s.loaded {
+		// Shrunk underneath us (someone replaced rows.jsonl): rebuild.
+		s.byKey = make(map[string]int)
+		s.recs = nil
+		s.loaded = 0
+		s.rebuilds++
+	}
+	if st.Size() == s.loaded {
+		return 0, nil
+	}
+	tail := make([]byte, st.Size()-s.loaded)
+	if _, err := s.f.ReadAt(tail, s.loaded); err != nil && err != io.EOF {
+		return 0, fmt.Errorf("results: scanning %s: %v", s.rowsPath(), err)
+	}
+	// Consume only complete lines: a trailing fragment without '\n'
+	// (another process mid-append) is left for the next scan to reread
+	// once it is whole.
+	end := bytes.LastIndexByte(tail, '\n')
+	if end < 0 {
+		return 0, nil
+	}
+	n := 0
+	for _, line := range bytes.Split(tail[:end], []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.Key == "" {
+			s.corrupt++
+			continue
+		}
+		s.insert(r)
+		n++
+	}
+	s.loaded += int64(end) + 1
+	return n, nil
+}
+
+// Get returns the record stored under key. A miss first refreshes from
+// disk, so records appended by other processes since Open are served
+// without reopening.
+func (s *Store) Get(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i, ok := s.byKey[key]
+	if !ok {
+		_, _ = s.scanTail()
+		i, ok = s.byKey[key]
+	}
+	if !ok {
+		s.misses++
+		return Record{}, false
+	}
+	s.hits++
+	return s.recs[i], true
+}
+
+// Put appends one record to the store and folds it into memory. The
+// append is a single write of one complete line, so concurrent writers
+// (goroutines or processes) never interleave bytes.
+func (s *Store) Put(r Record) error {
+	if r.Key == "" {
+		return fmt.Errorf("results: record needs a key")
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("results: %v", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("results: store is closed")
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("results: %v", err)
+	}
+	// Our own append extends rows.jsonl past s.loaded; account for it
+	// directly only when no other writer slipped in between (the common
+	// case); otherwise the next scanTail picks both up.
+	if st, err := s.f.Stat(); err == nil && st.Size() == s.loaded+int64(len(line)) {
+		s.loaded = st.Size()
+		s.insert(r)
+	} else {
+		_, _ = s.scanTail()
+	}
+	s.puts++
+	s.sinceSnp++
+	if s.sinceSnp >= snapshotEvery {
+		s.snapshotLocked()
+	}
+	return nil
+}
+
+// Query returns the records matching q, in insertion order.
+func (s *Store) Query(q Query) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.scanTail()
+	var out []Record
+	for _, r := range s.recs {
+		if q.App != "" && r.App != q.App {
+			continue
+		}
+		if q.Scheme != "" && r.Scheme != q.Scheme {
+			continue
+		}
+		if q.Key != "" && r.Key != q.Key {
+			continue
+		}
+		out = append(out, r)
+		if q.Limit > 0 && len(out) >= q.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of distinct keys currently loaded.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Refresh folds records appended by other processes into memory and
+// reports how many arrived.
+func (s *Store) Refresh() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.scanTail()
+}
+
+// Stats returns the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Hits: s.hits, Misses: s.misses, Puts: s.puts,
+		CorruptRows: s.corrupt, IndexRebuilds: s.rebuilds,
+		Records: len(s.recs),
+	}
+}
+
+// snapshotLocked atomically rewrites index.json to cover everything
+// loaded so far. Failures are ignored: the snapshot is an accelerator,
+// and a stale one is detected and rebuilt on the next Open.
+func (s *Store) snapshotLocked() {
+	s.sinceSnp = 0
+	ix := index{Version: FormatVersion, Offset: s.loaded, Records: s.recs}
+	data, err := json.Marshal(&ix)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, ".index-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), s.indexPath()) != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Sync rewrites the index snapshot now (normally done every
+// snapshotEvery appends and on Close).
+func (s *Store) Sync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.snapshotLocked()
+}
+
+// Close snapshots the index and releases the store's file handle. The
+// directory remains valid for other handles and future Opens.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.snapshotLocked()
+	return s.f.Close()
+}

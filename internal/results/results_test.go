@@ -1,0 +1,315 @@
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func rec(key, app, scheme string, v int) Record {
+	return Record{
+		Key: key, App: app, Scheme: scheme,
+		Row: json.RawMessage(fmt.Sprintf(`{"app":%q,"scheme":%q,"mpki":%d}`, app, scheme, v)),
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	want := rec("k1", "delaunay", "whirlpool", 7)
+	if err := s.Put(want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k1")
+	if !ok || got.App != "delaunay" || string(got.Row) != string(want.Row) {
+		t.Fatalf("Get = %+v, %v", got, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("Get of a missing key succeeded")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Records != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReopenLoadsRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More than snapshotEvery records so the index snapshot path runs,
+	// plus a few appended after the last snapshot (tail-scan path).
+	n := snapshotEvery + 5
+	for i := 0; i < n; i++ {
+		if err := s.Put(rec(fmt.Sprintf("k%03d", i), "app", "s", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("reopened store has %d records, want %d", s2.Len(), n)
+	}
+	if st := s2.Stats(); st.IndexRebuilds != 0 || st.CorruptRows != 0 {
+		t.Fatalf("clean reopen rebuilt or skipped rows: %+v", st)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := s2.Get(fmt.Sprintf("k%03d", i)); !ok {
+			t.Fatalf("record k%03d lost across reopen", i)
+		}
+	}
+}
+
+func TestLastWriterWins(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put(rec("k", "a", "s", 1))
+	s.Put(rec("k", "a", "s", 2))
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (same key)", s.Len())
+	}
+	got, _ := s.Get("k")
+	if string(got.Row) != `{"app":"a","scheme":"s","mpki":2}` {
+		t.Fatalf("Get after overwrite = %s", got.Row)
+	}
+	s.Close()
+	s2, _ := Open(dir)
+	defer s2.Close()
+	if got, _ := s2.Get("k"); string(got.Row) != `{"app":"a","scheme":"s","mpki":2}` {
+		t.Fatalf("reopened Get after overwrite = %s", got.Row)
+	}
+}
+
+// TestConcurrentWriters hammers one handle from many goroutines and a
+// second same-directory handle from another process's point of view,
+// then verifies every record survived intact.
+func TestConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir) // a second handle, as another process would hold
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := s1
+			if w%2 == 1 {
+				h = s2
+			}
+			for i := 0; i < perWriter; i++ {
+				key := fmt.Sprintf("w%d-i%d", w, i)
+				if err := h.Put(rec(key, fmt.Sprintf("app%d", w), "scheme", i)); err != nil {
+					t.Errorf("Put(%s): %v", key, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s1.Close()
+	s2.Close()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if st := s.Stats(); st.CorruptRows != 0 {
+		t.Fatalf("concurrent appends corrupted %d rows", st.CorruptRows)
+	}
+	if s.Len() != writers*perWriter {
+		t.Fatalf("store has %d records, want %d", s.Len(), writers*perWriter)
+	}
+	for w := 0; w < writers; w++ {
+		for i := 0; i < perWriter; i++ {
+			r, ok := s.Get(fmt.Sprintf("w%d-i%d", w, i))
+			if !ok {
+				t.Fatalf("record w%d-i%d lost", w, i)
+			}
+			var row struct {
+				MPKI int `json:"mpki"`
+			}
+			if err := json.Unmarshal(r.Row, &row); err != nil || row.MPKI != i {
+				t.Fatalf("record w%d-i%d payload mangled: %s", w, i, r.Row)
+			}
+		}
+	}
+}
+
+// TestCrossHandleVisibility: records appended through one handle are
+// served by an already-open second handle (Get refreshes on miss).
+func TestCrossHandleVisibility(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir)
+	defer s1.Close()
+	s2, _ := Open(dir)
+	defer s2.Close()
+	if err := s1.Put(rec("shared", "a", "s", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s2.Get("shared"); !ok || got.App != "a" {
+		t.Fatalf("second handle missed a record the first appended: %+v, %v", got, ok)
+	}
+}
+
+// TestCorruptIndexSelfHeals: a mangled index.json must not lose data or
+// fail Open — the store rebuilds from rows.jsonl and counts the rebuild.
+func TestCorruptIndexSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for i := 0; i < 5; i++ {
+		s.Put(rec(fmt.Sprintf("k%d", i), "app", "s", i))
+	}
+	s.Close() // writes a valid index.json
+
+	for _, garbage := range []string{"{not json", `{"version":99,"offset":0}`, ""} {
+		if err := os.WriteFile(filepath.Join(dir, "index.json"), []byte(garbage), 0o666); err != nil {
+			t.Fatal(err)
+		}
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open with corrupt index %q: %v", garbage, err)
+		}
+		if s2.Len() != 5 {
+			t.Fatalf("corrupt index %q: %d records, want 5", garbage, s2.Len())
+		}
+		if st := s2.Stats(); st.IndexRebuilds == 0 {
+			t.Fatalf("corrupt index %q: rebuild not counted: %+v", garbage, st)
+		}
+		s2.Close() // heals: writes a fresh valid snapshot
+	}
+	s3, _ := Open(dir)
+	defer s3.Close()
+	if st := s3.Stats(); st.IndexRebuilds != 0 || s3.Len() != 5 {
+		t.Fatalf("index not healed after rewrite: %+v len=%d", st, s3.Len())
+	}
+}
+
+// TestStaleIndexAfterTruncation: an index claiming more bytes than
+// rows.jsonl holds (file replaced/truncated) is distrusted wholesale.
+func TestStaleIndexAfterTruncation(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	for i := 0; i < 3; i++ {
+		s.Put(rec(fmt.Sprintf("k%d", i), "app", "s", i))
+	}
+	s.Sync()
+	one, _ := json.Marshal(rec("only", "app", "s", 9))
+	if err := os.WriteFile(filepath.Join(dir, "rows.jsonl"), append(one, '\n'), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("store served %d records from a stale index, want 1", s2.Len())
+	}
+	if _, ok := s2.Get("only"); !ok {
+		t.Fatal("surviving record lost")
+	}
+}
+
+// TestCorruptRowsSkipped: torn/garbage JSONL lines are skipped and
+// counted; the records around them still load, and a torn final line
+// is healed so the next append stays line-aligned.
+func TestCorruptRowsSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put(rec("good1", "a", "s", 1))
+	s.Close()
+	os.Remove(filepath.Join(dir, "index.json")) // force a full rescan
+
+	f, err := os.OpenFile(filepath.Join(dir, "rows.jsonl"), os.O_APPEND|os.O_WRONLY, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("{torn garbage\n")
+	good2, _ := json.Marshal(rec("good2", "a", "s", 2))
+	f.Write(append(good2, '\n'))
+	f.WriteString(`{"key":"torn-tail","app":"a`) // killed mid-append, no '\n'
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get("good1"); !ok {
+		t.Fatal("good1 lost to a neighboring corrupt line")
+	}
+	if _, ok := s2.Get("good2"); !ok {
+		t.Fatal("good2 lost to a neighboring corrupt line")
+	}
+	if st := s2.Stats(); st.CorruptRows < 2 {
+		t.Fatalf("corrupt lines not counted: %+v", st)
+	}
+	// The healed tail must keep post-corruption appends readable.
+	if err := s2.Put(rec("good3", "a", "s", 3)); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, _ := Open(dir)
+	defer s3.Close()
+	if _, ok := s3.Get("good3"); !ok {
+		t.Fatal("append after healed tail lost")
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	defer s.Close()
+	s.Put(rec("k1", "delaunay", "whirlpool", 1))
+	s.Put(rec("k2", "delaunay", "jigsaw", 2))
+	s.Put(rec("k3", "mcf", "whirlpool", 3))
+	cases := []struct {
+		q    Query
+		want []string
+	}{
+		{Query{}, []string{"k1", "k2", "k3"}},
+		{Query{App: "delaunay"}, []string{"k1", "k2"}},
+		{Query{Scheme: "whirlpool"}, []string{"k1", "k3"}},
+		{Query{App: "delaunay", Scheme: "jigsaw"}, []string{"k2"}},
+		{Query{Key: "k3"}, []string{"k3"}},
+		{Query{App: "nosuch"}, nil},
+		{Query{Limit: 2}, []string{"k1", "k2"}},
+	}
+	for _, c := range cases {
+		got := s.Query(c.q)
+		var keys []string
+		for _, r := range got {
+			keys = append(keys, r.Key)
+		}
+		if fmt.Sprint(keys) != fmt.Sprint(c.want) {
+			t.Errorf("Query(%+v) = %v, want %v", c.q, keys, c.want)
+		}
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

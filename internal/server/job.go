@@ -1,0 +1,168 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"whirlpool/internal/experiments"
+	"whirlpool/internal/schemes"
+	"whirlpool/internal/spec"
+)
+
+// job is one submitted sweep. Rows accumulate in arrival order for SSE
+// replay; the grid-ordered result lands when the sweep finishes.
+type job struct {
+	id      string
+	req     SweepRequest
+	scale   float64
+	apps    []string
+	mixes   []experiments.SweepMix
+	kinds   []schemes.Kind
+	total   int
+	created time.Time
+	// specFile is the parsed inline spec, registered when the job runs
+	// (not at submit, so rejected submits don't touch the registry).
+	specFile *spec.File
+
+	mu        sync.Mutex
+	state     string // queued | running | done | failed | canceled
+	completed []experiments.SweepRow
+	result    []experiments.SweepRow
+	stats     experiments.SweepStats
+	msg       string
+	cancelReq bool
+	cancel    context.CancelFunc
+	// changed is closed and replaced on every state/row update — a
+	// broadcast that wakes all SSE subscribers at once.
+	changed chan struct{}
+}
+
+func isTerminal(state string) bool {
+	return state == "done" || state == "failed" || state == "canceled"
+}
+
+// isDone reports whether the job reached a terminal state.
+func (j *job) isDone() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return isTerminal(j.state)
+}
+
+// bump wakes every waiter. Callers hold j.mu.
+func (j *job) bump() {
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// start transitions queued → running and arms cancellation (honoring a
+// cancel that arrived while the job was still queued).
+func (j *job) start(cancel context.CancelFunc) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancel = cancel
+	if j.cancelReq {
+		cancel()
+	}
+	j.state = "running"
+	j.bump()
+}
+
+// addRow records one finished cell (called from sweep workers,
+// serialized by the engine).
+func (j *job) addRow(done, total int, row experiments.SweepRow) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.completed = append(j.completed, row)
+	j.bump()
+}
+
+// finish records the terminal state and the grid-ordered result.
+func (j *job) finish(rows []experiments.SweepRow, stats experiments.SweepStats, state, msg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = rows
+	j.stats = stats
+	j.state = state
+	j.msg = msg
+	j.bump()
+}
+
+// requestCancel cancels a running job, or marks a queued one so it
+// cancels the moment a runner picks it up.
+func (j *job) requestCancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancelReq = true
+	if j.cancel != nil {
+		j.cancel()
+	}
+}
+
+// resultRows returns the grid-ordered rows once the job is terminal
+// (nil otherwise, with the current state for the error message).
+func (j *job) resultRows() ([]experiments.SweepRow, string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !isTerminal(j.state) || j.result == nil {
+		return nil, j.state
+	}
+	return j.result, j.state
+}
+
+// status snapshots the job for /v1/jobs/{id} and the SSE done event.
+func (j *job) status() map[string]any {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := map[string]any{
+		"id":           j.id,
+		"state":        j.state,
+		"total":        j.total,
+		"done":         len(j.completed),
+		"served":       j.stats.Served,
+		"computed":     j.stats.Computed,
+		"cell_errors":  j.stats.Errors,
+		"created_unix": j.created.Unix(),
+	}
+	if j.stats.Canceled > 0 {
+		st["cells_canceled"] = j.stats.Canceled
+	}
+	if j.msg != "" {
+		st["error"] = j.msg
+	}
+	return st
+}
+
+// wait blocks until the job has rows past cursor or reaches a terminal
+// state, returning the new rows, the advanced cursor, and whether the
+// state is terminal. Both contexts abort the wait (returning no rows,
+// non-terminal).
+func (j *job) wait(cursor int, reqCtx, baseCtx context.Context) ([]experiments.SweepRow, int, bool) {
+	aborted := false
+	j.mu.Lock()
+	for {
+		if len(j.completed) > cursor || isTerminal(j.state) {
+			rows := append([]experiments.SweepRow(nil), j.completed[cursor:]...)
+			term := isTerminal(j.state)
+			j.mu.Unlock()
+			return rows, cursor + len(rows), term
+		}
+		if aborted {
+			j.mu.Unlock()
+			return nil, cursor, false
+		}
+		ch := j.changed
+		j.mu.Unlock()
+		select {
+		case <-ch:
+		case <-reqCtx.Done():
+			// A context wake can race the job's own finish() bump (both
+			// fire during shutdown); re-check once under the lock so a
+			// finished job still delivers its final rows + done event.
+			aborted = true
+		case <-baseCtx.Done():
+			aborted = true
+		}
+		j.mu.Lock()
+	}
+}

@@ -1,0 +1,44 @@
+package server
+
+import (
+	"encoding/json"
+	"expvar"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+)
+
+// metrics are the daemon's monotonic counters, served by /metrics in
+// expvar style (flat JSON object; the process-wide expvar memstats ride
+// along).
+type metrics struct {
+	jobsSubmitted atomic.Int64
+	jobsDone      atomic.Int64
+	jobsFailed    atomic.Int64
+	jobsCanceled  atomic.Int64
+	rowsServed    atomic.Int64
+	rowsComputed  atomic.Int64
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.cfg.Store.Stats()
+	out := map[string]any{
+		"whirld.jobs.submitted": s.metrics.jobsSubmitted.Load(),
+		"whirld.jobs.done":      s.metrics.jobsDone.Load(),
+		"whirld.jobs.failed":    s.metrics.jobsFailed.Load(),
+		"whirld.jobs.canceled":  s.metrics.jobsCanceled.Load(),
+		"whirld.rows.served":    s.metrics.rowsServed.Load(),
+		"whirld.rows.computed":  s.metrics.rowsComputed.Load(),
+		"store.hits":            st.Hits,
+		"store.misses":          st.Misses,
+		"store.puts":            st.Puts,
+		"store.corrupt_rows":    st.CorruptRows,
+		"store.index_rebuilds":  st.IndexRebuilds,
+		"store.records":         st.Records,
+		"goroutines":            runtime.NumGoroutine(),
+	}
+	if ms := expvar.Get("memstats"); ms != nil {
+		out["memstats"] = json.RawMessage(ms.String())
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,611 @@
+// Package server implements whirld's HTTP surface: submit sweeps as
+// async jobs, stream rows over SSE as cells finish, and query the
+// persistent result store. Every row a job computes is committed to the
+// store as it lands, and every cell already in the store is served
+// without simulation, so the daemon and the CLIs (whirlsweep -store)
+// share one memoized result universe.
+//
+// Endpoints (see docs/server.md for the reference + curl examples):
+//
+//	POST   /v1/sweeps           submit a sweep (spec + grid) as a job
+//	GET    /v1/jobs             list jobs in submission order
+//	GET    /v1/jobs/{id}        job status + cell-resolution counters
+//	GET    /v1/jobs/{id}/stream SSE: completed rows as they finish
+//	GET    /v1/jobs/{id}/rows   finished grid in csv/json/table form
+//	DELETE /v1/jobs/{id}        cancel a queued or running job
+//	GET    /v1/results          query the store (app/scheme/key filters)
+//	GET    /healthz             liveness + build identity
+//	GET    /metrics             expvar-style counters
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"whirlpool/internal/experiments"
+	"whirlpool/internal/results"
+	"whirlpool/internal/schemes"
+	"whirlpool/internal/spec"
+	"whirlpool/internal/workloads"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Store is the persistent result store; required.
+	Store *results.Store
+	// TraceCacheDir, when non-empty, gives every job's harness an
+	// on-disk trace cache (uncached cells still skip regeneration
+	// across jobs).
+	TraceCacheDir string
+	// Workers bounds each job's sweep parallelism; <= 0 means
+	// GOMAXPROCS.
+	Workers int
+	// JobWorkers bounds how many jobs run concurrently; <= 0 means 1
+	// (FIFO jobs, each fanning cells across Workers — the right
+	// throughput model for CPU-bound simulation).
+	JobWorkers int
+	// QueueDepth bounds queued jobs; submits beyond it get 503.
+	// <= 0 means 64.
+	QueueDepth int
+	// JobHistory bounds how many finished jobs stay queryable (their
+	// rows live in memory; the store keeps the results forever). When a
+	// new job finishes beyond the bound, the oldest terminal jobs are
+	// evicted. <= 0 means 256.
+	JobHistory int
+	// Version is reported by /healthz (cliutil.Version in whirld).
+	Version string
+}
+
+// Server routes HTTP requests onto a bounded job pool running
+// experiments.Sweep. Create with New, serve via Handler, stop with
+// Close.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	seq      int
+	draining bool
+
+	queue   chan *job
+	runners sync.WaitGroup
+
+	// regMu serializes workload-spec registration: the workloads
+	// registry is process-global, so concurrent submits registering
+	// apps must not interleave. Jobs reusing one app name across
+	// different specs race with in-flight sweeps of that name; keys
+	// and stored rows stay truthful (both read the registry at sweep
+	// start), but prefer distinct names.
+	regMu sync.Mutex
+
+	started time.Time
+	metrics metrics
+}
+
+// SweepRequest is the POST /v1/sweeps body. Semantics mirror the
+// whirlsweep flags.
+type SweepRequest struct {
+	// Spec is an optional inline workload-spec file (the same JSON
+	// schema as docs/workload-specs.md); its apps are registered and
+	// its mixes become sweepable by name.
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Apps to sweep. Empty: the spec's apps, else every registered
+	// app. ["all"] forces the full registry.
+	Apps []string `json:"apps,omitempty"`
+	// Mixes are mix names from Spec; ["all"] sweeps every mix in Spec.
+	Mixes []string `json:"mixes,omitempty"`
+	// Schemes to cross with every app and mix; empty means all.
+	Schemes []string `json:"schemes,omitempty"`
+	// Scale multiplies workload length (0 = 1.0).
+	Scale float64 `json:"scale,omitempty"`
+	// Seed drives workload generation (0 = the published default).
+	Seed uint64 `json:"seed,omitempty"`
+	// Reconfig overrides the D-NUCA reconfiguration period in cycles.
+	Reconfig uint64 `json:"reconfig,omitempty"`
+	// NoBypass disables VC bypassing in every run.
+	NoBypass bool `json:"nobypass,omitempty"`
+}
+
+// New builds a Server and starts its job runners.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("server: Config.Store is required")
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 256
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    map[string]*job{},
+		queue:   make(chan *job, cfg.QueueDepth),
+		started: time.Now(),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/rows", s.handleRows)
+	s.mux.HandleFunc("GET /v1/results", s.handleResults)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.runners.Add(1)
+		go s.runJobs()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the daemon: new submits are rejected, running jobs are
+// canceled (their already-committed rows stay in the store, so
+// resubmitting resumes where they stopped), and the job runners exit.
+// SSE streams of jobs that reached a terminal state deliver their
+// final done event; streams cut off mid-cancellation end without one
+// (the client sees a dropped stream and re-polls the job). The store
+// itself is not closed; the owner does that after Close returns.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.mu.Unlock()
+	s.cancel()
+	close(s.queue)
+	// Jobs still queued (never started) must report a terminal state or
+	// SSE subscribers would hang.
+	for j := range s.queue {
+		j.finish(nil, experiments.SweepStats{}, "canceled", "daemon shutting down")
+	}
+	s.runners.Wait()
+}
+
+// runJobs is one job-runner goroutine: it executes queued jobs until
+// the queue closes.
+func (s *Server) runJobs() {
+	defer s.runners.Done()
+	for j := range s.queue {
+		s.runJob(j)
+		s.evictOld()
+	}
+}
+
+// evictOld trims terminal jobs beyond cfg.JobHistory, oldest first, so
+// a long-lived daemon's memory stays bounded. Running and queued jobs
+// are never evicted; the evicted jobs' rows remain in the store.
+func (s *Server) evictOld() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nTerm := 0
+	for _, id := range s.order {
+		if s.jobs[id].isDone() {
+			nTerm++
+		}
+	}
+	if nTerm <= s.cfg.JobHistory {
+		return
+	}
+	keep := s.order[:0]
+	for _, id := range s.order {
+		if nTerm > s.cfg.JobHistory && s.jobs[id].isDone() {
+			delete(s.jobs, id)
+			nTerm--
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.order = keep
+}
+
+func (s *Server) runJob(j *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.start(cancel)
+	defer cancel()
+
+	if j.specFile != nil {
+		// Registration is what makes the spec's apps (and mix members)
+		// resolvable; deferred to run time so rejected submits leave the
+		// registry untouched, and serialized because it is
+		// process-global.
+		s.regMu.Lock()
+		_, err := j.specFile.Register()
+		s.regMu.Unlock()
+		if err != nil {
+			s.metrics.jobsFailed.Add(1)
+			j.finish(nil, experiments.SweepStats{}, "failed", err.Error())
+			return
+		}
+	}
+
+	h := experiments.NewHarness(j.scale)
+	if j.req.Seed != 0 {
+		h.Seed = j.req.Seed
+	}
+	if j.req.Reconfig != 0 {
+		h.ReconfigCycles = j.req.Reconfig
+	}
+	h.CacheDir = s.cfg.TraceCacheDir
+
+	var stats experiments.SweepStats
+	cfg := experiments.SweepConfig{
+		Apps:     j.apps,
+		Mixes:    j.mixes,
+		Kinds:    j.kinds,
+		Workers:  s.cfg.Workers,
+		NoBypass: j.req.NoBypass,
+		Context:  ctx,
+		Store:    s.cfg.Store,
+		Stats:    &stats,
+		OnRow:    func(done, total int, row experiments.SweepRow) { j.addRow(done, total, row) },
+	}
+	rows, err := h.Sweep(cfg)
+	s.metrics.rowsServed.Add(int64(stats.Served))
+	s.metrics.rowsComputed.Add(int64(stats.Computed))
+	switch {
+	case ctx.Err() != nil:
+		s.metrics.jobsCanceled.Add(1)
+		j.finish(rows, stats, "canceled", ctx.Err().Error())
+	case err != nil:
+		s.metrics.jobsFailed.Add(1)
+		j.finish(rows, stats, "failed", err.Error())
+	default:
+		s.metrics.jobsDone.Add(1)
+		state, msg := "done", ""
+		if stats.Errors > 0 {
+			msg = fmt.Sprintf("%d of %d cells failed", stats.Errors, len(rows))
+		}
+		j.finish(rows, stats, state, msg)
+	}
+}
+
+// --- request handling ---
+
+func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// handleSubmit validates a SweepRequest, registers its inline spec,
+// and enqueues the job.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	var req SweepRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, err := s.buildJob(&req)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Register and enqueue under one lock: Close flips draining before
+	// closing the queue (also under the lock), so no send can hit a
+	// closed channel, and a full-queue rejection never has to unwind
+	// shared state.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		httpErr(w, http.StatusServiceUnavailable, "daemon is shutting down")
+		return
+	}
+	s.seq++
+	j.id = fmt.Sprintf("j%d", s.seq)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		httpErr(w, http.StatusServiceUnavailable, "job queue is full (%d pending)", s.cfg.QueueDepth)
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j.id)
+	s.mu.Unlock()
+	s.metrics.jobsSubmitted.Add(1)
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":     j.id,
+		"state":  "queued",
+		"total":  j.total,
+		"status": "/v1/jobs/" + j.id,
+		"stream": "/v1/jobs/" + j.id + "/stream",
+		"rows":   "/v1/jobs/" + j.id + "/rows",
+	})
+}
+
+// buildJob resolves a request into a runnable job: registers the
+// inline spec, resolves apps/mixes/schemes, and sizes the grid.
+func (s *Server) buildJob(req *SweepRequest) (*job, error) {
+	j := &job{req: *req, state: "queued", created: time.Now(), changed: make(chan struct{})}
+	j.scale = req.Scale
+	if j.scale == 0 {
+		j.scale = 1
+	}
+	if j.scale < 0 {
+		return nil, fmt.Errorf("scale must be >= 0, got %g", j.scale)
+	}
+
+	// The spec is parsed and validated now but registered only when the
+	// job runs (runJob): a rejected or queue-full submit must not
+	// mutate the process-global workload registry other clients sweep.
+	var f *spec.File
+	var specApps []string
+	inSpec := map[string]bool{}
+	if len(req.Spec) > 0 {
+		var err error
+		f, err = spec.Parse(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		j.specFile = f
+		for _, a := range f.Apps {
+			specApps = append(specApps, a.Name)
+			inSpec[a.Name] = true
+		}
+	}
+
+	// "all" (explicit or defaulted) means the registry plus this spec's
+	// own apps — registration is deferred to run time, so the spec's
+	// names are unioned in here to match whirlsweep, which registers
+	// -spec files before resolving "all".
+	allApps := func() []string {
+		names := workloads.Names()
+		have := make(map[string]bool, len(names))
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, n := range specApps {
+			if !have[n] {
+				names = append(names, n)
+			}
+		}
+		return names
+	}
+	switch {
+	case len(req.Apps) == 1 && req.Apps[0] == "all":
+		j.apps = allApps()
+	case len(req.Apps) > 0:
+		j.apps = req.Apps
+	case len(req.Mixes) > 0:
+		// Mixes only.
+	case len(specApps) > 0:
+		j.apps = specApps
+	default:
+		j.apps = allApps()
+	}
+	for _, a := range j.apps {
+		if _, ok := workloads.ByName(a); !ok && !inSpec[a] {
+			return nil, fmt.Errorf("unknown app %q", a)
+		}
+	}
+
+	if len(req.Mixes) > 0 {
+		if f == nil {
+			return nil, fmt.Errorf("mixes need an inline spec that defines them")
+		}
+		all := len(req.Mixes) == 1 && req.Mixes[0] == "all"
+		want := map[string]bool{}
+		for _, m := range req.Mixes {
+			want[m] = true
+		}
+		for _, m := range f.Mixes {
+			if all || want[m.Name] {
+				j.mixes = append(j.mixes, experiments.SweepMix{
+					Name: m.Name, Apps: m.Apps, Pins: m.Pins, Chip: m.BuildChip(),
+				})
+				delete(want, m.Name)
+			}
+		}
+		if all && len(j.mixes) == 0 {
+			return nil, fmt.Errorf("the spec defines no mixes")
+		}
+		if !all {
+			for m := range want {
+				return nil, fmt.Errorf("mix %q not defined in the spec", m)
+			}
+		}
+	}
+
+	if len(req.Schemes) > 0 && !(len(req.Schemes) == 1 && req.Schemes[0] == "all") {
+		for _, name := range req.Schemes {
+			k, err := schemes.ParseKind(name)
+			if err != nil {
+				return nil, err
+			}
+			j.kinds = append(j.kinds, k)
+		}
+	}
+	nk := len(j.kinds)
+	if nk == 0 {
+		nk = len(schemes.AllKinds())
+	}
+	j.total = (len(j.apps) + len(j.mixes)) * nk
+	if j.total == 0 {
+		return nil, fmt.Errorf("sweep has no apps and no mixes")
+	}
+	return j, nil
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		httpErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+	}
+	return j
+}
+
+// handleJobs lists every job this daemon has accepted, in submission
+// order.
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]map[string]any, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	j.requestCancel()
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleStream serves the job's rows as Server-Sent Events: one "row"
+// event per completed cell (already-finished rows replay first, so late
+// subscribers see the full history), then one final "done" event.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		httpErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	cursor := 0
+	for {
+		rows, next, terminal := j.wait(cursor, r.Context(), s.baseCtx)
+		for i, row := range rows {
+			data, err := json.Marshal(row)
+			if err != nil {
+				continue
+			}
+			fmt.Fprintf(w, "id: %d\nevent: row\ndata: %s\n\n", cursor+i+1, data)
+		}
+		cursor = next
+		fl.Flush()
+		if terminal {
+			st := j.status()
+			data, _ := json.Marshal(st)
+			fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+			fl.Flush()
+			return
+		}
+		if r.Context().Err() != nil || s.baseCtx.Err() != nil {
+			return
+		}
+	}
+}
+
+// handleRows returns the finished grid in whirlsweep's output formats
+// (csv rows are byte-identical to `whirlsweep -format csv`).
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	rows, state := j.resultRows()
+	if rows == nil {
+		httpErr(w, http.StatusConflict, "job %s is %s; rows are available once it finishes", j.id, state)
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		experiments.WriteRowsJSON(w, rows)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		experiments.WriteRowsCSV(w, rows)
+	case "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		experiments.WriteRowsTable(w, rows)
+	default:
+		httpErr(w, http.StatusBadRequest, "unknown format %q (valid: json, csv, table)", format)
+	}
+}
+
+// handleResults queries the persistent store directly; filters are
+// ?app=, ?scheme=, ?key=, ?limit=.
+func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
+	q := results.Query{
+		App:    r.URL.Query().Get("app"),
+		Scheme: r.URL.Query().Get("scheme"),
+		Key:    r.URL.Query().Get("key"),
+	}
+	if lim := r.URL.Query().Get("limit"); lim != "" {
+		if _, err := fmt.Sscanf(lim, "%d", &q.Limit); err != nil || q.Limit < 0 {
+			httpErr(w, http.StatusBadRequest, "bad limit %q", lim)
+			return
+		}
+	}
+	recs := s.cfg.Store.Query(q)
+	if recs == nil {
+		recs = []results.Record{}
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := len(s.jobs)
+	draining := s.draining
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":            !draining,
+		"version":       s.cfg.Version,
+		"go":            runtime.Version(),
+		"uptime_s":      int64(time.Since(s.started).Seconds()),
+		"jobs":          jobs,
+		"store_records": s.cfg.Store.Len(),
+	})
+}

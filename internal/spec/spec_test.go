@@ -239,6 +239,7 @@ func TestByteSizeMarshal(t *testing.T) {
 }
 
 func TestRegisterShadowsAndExtends(t *testing.T) {
+	t.Cleanup(workloads.SnapshotRegistry())
 	f, err := Parse([]byte(`{"apps":[
 		{"name":"spec_test_new", "structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]},
 		{"name":"delaunay", "accesses": 42000, "structs":[{"name":"x","bytes":"1MB","pattern":"rand"}]}

@@ -2,6 +2,8 @@ package workloads
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sync"
 )
 
@@ -54,6 +56,28 @@ func registered(name string) (AppSpec, bool) {
 		return regList[i], true
 	}
 	return AppSpec{}, false
+}
+
+// SnapshotRegistry captures the current runtime registry and returns a
+// function restoring it. The registry is global per process, so a test
+// that registers apps (e.g. trace-sourced ones) leaks them into every
+// later test in the same binary unless it restores the snapshot:
+//
+//	t.Cleanup(workloads.SnapshotRegistry())
+//
+// Restoring discards registrations made after the snapshot, including
+// replacements of apps that existed at snapshot time.
+func SnapshotRegistry() (restore func()) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	list := slices.Clone(regList)
+	idx := maps.Clone(regIdx)
+	return func() {
+		regMu.Lock()
+		defer regMu.Unlock()
+		regList = list
+		regIdx = idx
+	}
 }
 
 // RegisteredNames returns the names of runtime-registered apps in

@@ -294,3 +294,29 @@ func TestByName(t *testing.T) {
 }
 
 var _ = mem.DefaultPool
+
+// The snapshot helper must make registrations invisible to later tests:
+// additions disappear, and shadowed built-ins reappear, on restore.
+func TestSnapshotRegistryRestores(t *testing.T) {
+	want := len(Names())
+	restore := SnapshotRegistry()
+	orig, _ := ByName("lbm")
+	if err := Register(AppSpec{Name: "snap-only"}); err != nil {
+		t.Fatal(err)
+	}
+	shadow := orig
+	shadow.Accesses = orig.Accesses + 1
+	if err := Register(shadow); err != nil {
+		t.Fatal(err)
+	}
+	restore()
+	if _, ok := ByName("snap-only"); ok {
+		t.Fatal("registration survived restore")
+	}
+	if s, _ := ByName("lbm"); s.Accesses != orig.Accesses {
+		t.Fatalf("shadowed builtin not restored: %d != %d", s.Accesses, orig.Accesses)
+	}
+	if len(Names()) != want {
+		t.Fatalf("Names = %d after restore, want %d", len(Names()), want)
+	}
+}
