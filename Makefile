@@ -9,7 +9,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X whirlpool/internal/cliutil.buildVersion=$(VERSION)"
 
-.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke serve-smoke ci
+.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke serve-smoke dist-smoke ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -24,9 +24,10 @@ test:
 
 # The concurrency hot spots: the sweep worker pool and the per-app
 # once-cache in the experiments harness, the result store's concurrent
-# writers, and the daemon's job pool + SSE broadcast.
+# writers, the daemon's job pool + SSE broadcast, and the distributed
+# dispatcher's shard fan-out.
 race:
-	$(GO) test -race -count=1 ./internal/experiments/... ./internal/results/ ./internal/server/
+	$(GO) test -race -count=1 ./internal/experiments/... ./internal/results/ ./internal/server/ ./internal/dispatch/
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +81,8 @@ smoke:
 	$(GO) run ./cmd/whirltool -version | grep -q '^whirltool '
 	$(GO) run ./cmd/whirld -version | grep -q '^whirld '
 	! $(GO) run ./cmd/whirld -store '' 2>/dev/null
+	! $(GO) run ./cmd/whirld -workers not-a-url 2>/dev/null
+	! $(GO) run ./cmd/whirld -workers 8 -parallel 4 2>/dev/null
 	@echo "smoke OK"
 
 # Record/replay smoke: a trace recorded with `whirltool trace record`
@@ -117,4 +120,12 @@ trace-smoke:
 serve-smoke:
 	GO="$(GO)" sh scripts/serve-smoke.sh
 
-ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke
+# Distributed smoke: a coordinator whirld shards sweeps across two
+# worker whirlds sharing one result store; the merged grid must be
+# bit-identical to a single-node run, a warm resubmit must re-simulate
+# nothing on any node, and a worker killed mid-sweep must not lose the
+# job. See scripts/dist-smoke.sh.
+dist-smoke:
+	GO="$(GO)" sh scripts/dist-smoke.sh
+
+ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke

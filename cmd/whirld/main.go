@@ -6,14 +6,21 @@
 // re-simulation — the same store whirlsweep -store reads and writes,
 // so the CLI and the daemon share one result universe.
 //
+// In coordinator mode (-workers http://...,http://...) the daemon
+// shards each sweep's unserved cells by content-address across remote
+// worker whirlds, collects their rows over SSE, and commits everything
+// to its own store; a dead worker's cells re-dispatch to the survivors.
+//
 // Usage:
 //
 //	whirld                                   # 127.0.0.1:8080, store under the user cache dir
-//	whirld -addr :9090 -store ./store -trace-cache auto -workers 8
+//	whirld -addr :9090 -store ./store -trace-cache auto -parallel 8
+//	whirld -workers http://10.0.0.2:8080,http://10.0.0.3:8080   # coordinator
 //	curl -X POST -d '{"apps":["delaunay"],"scale":0.1}' localhost:8080/v1/sweeps
 //	curl -N localhost:8080/v1/jobs/j1/stream # SSE rows as cells finish
 //
-// See docs/server.md for the API reference.
+// See docs/server.md for the API reference and the distributed-mode
+// topology.
 package main
 
 import (
@@ -25,6 +32,8 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,11 +51,40 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
 	storeFlag := flag.String("store", "auto", cliutil.StoreUsage)
 	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "parallel simulation workers per job")
+	workersFlag := flag.String("workers", "", "coordinator mode: comma-separated worker whirld base URLs (http://host:port) to shard sweeps across; a plain integer is accepted as -parallel, the flag's pre-distributed meaning")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "parallel simulation workers per job")
 	queue := flag.Int("queue", 64, "max queued jobs before submits get 503")
 	version := cliutil.VersionFlag()
 	flag.Parse()
 	cliutil.HandleVersion("whirld", *version)
+
+	parallelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			parallelSet = true
+		}
+	})
+	var workerURLs []string
+	if *workersFlag != "" {
+		if n, err := strconv.Atoi(*workersFlag); err == nil {
+			// Back-compat: -workers N meant simulation parallelism. An
+			// explicit -parallel alongside it is contradictory — refuse
+			// rather than silently pick one.
+			if parallelSet {
+				fatal(fmt.Errorf("-workers %d conflicts with -parallel %d: integer -workers is the old name for -parallel; use one", n, *parallel))
+			}
+			*parallel = n
+		} else {
+			// Only the scheme is validated here; dispatch.New owns URL
+			// normalization (trimming, dedup) for every caller.
+			for _, u := range cliutil.SplitList(*workersFlag) {
+				if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+					fatal(fmt.Errorf("-workers: %q is not a worker URL (want http://host:port, or a plain integer for -parallel)", u))
+				}
+				workerURLs = append(workerURLs, u)
+			}
+		}
+	}
 
 	storeDir, err := cliutil.ResolveStoreDir(*storeFlag)
 	if err != nil {
@@ -67,7 +105,8 @@ func main() {
 	srv, err := server.New(server.Config{
 		Store:         store,
 		TraceCacheDir: cacheDir,
-		Workers:       *workers,
+		Workers:       *parallel,
+		WorkerURLs:    workerURLs,
 		QueueDepth:    *queue,
 		Version:       cliutil.Version(),
 	})
@@ -82,8 +121,12 @@ func main() {
 	// The bound address goes to stdout (scripts parse it, especially
 	// with -addr :0); everything else logs to stderr.
 	fmt.Printf("whirld: listening on %s\n", ln.Addr())
-	fmt.Fprintf(os.Stderr, "whirld: store %s (%d rows), trace cache %q, %d workers\n",
-		storeDir, store.Len(), cacheDir, *workers)
+	fmt.Fprintf(os.Stderr, "whirld: store %s (%d rows), trace cache %q, %d parallel sim workers\n",
+		storeDir, store.Len(), cacheDir, *parallel)
+	if len(workerURLs) > 0 {
+		fmt.Fprintf(os.Stderr, "whirld: coordinator over %d workers: %s\n",
+			len(workerURLs), strings.Join(workerURLs, ", "))
+	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)

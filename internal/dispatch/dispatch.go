@@ -1,0 +1,491 @@
+// Package dispatch is the coordinator half of distributed sweep
+// execution: it shards a sweep's pending cells across remote worker
+// whirld daemons by content-address, collects their rows over the
+// existing SSE/HTTP job machinery, and re-dispatches a dead worker's
+// unfinished cells to the survivors.
+//
+// The wire protocol is the worker daemon's POST /v1/cells endpoint (a
+// CellsRequest: shared sweep parameters plus one shard's explicit cell
+// list) followed by the standard GET /v1/jobs/{id}/stream SSE feed.
+// Rows route back into the coordinator's grid by the cell key each row
+// carries (falling back to the app/mix × scheme identity when a key is
+// absent); the coordinator — not the worker — owns the grid, the
+// progress accounting, and the result-store commit, so a worker can
+// disappear at any point without corrupting a job.
+package dispatch
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"whirlpool/internal/experiments"
+)
+
+// shardRejectedError marks a deterministic worker-side rejection (HTTP
+// 400 from /v1/cells): every worker would reject the same shard the
+// same way, so re-dispatching is pointless — the cells become explicit
+// error rows and the worker stays alive.
+type shardRejectedError struct{ msg string }
+
+func (e *shardRejectedError) Error() string { return e.msg }
+
+// errorRowFor fabricates the error row for a cell the fleet could not
+// compute.
+func errorRowFor(c experiments.CellRef, msg string) experiments.SweepRow {
+	name := c.Cell.App
+	if c.Cell.Mix != "" {
+		name = c.Cell.Mix
+	}
+	return experiments.SweepRow{App: name, Scheme: c.Cell.Scheme, Mix: c.Cell.Mix != "", Err: msg}
+}
+
+// JobParams are the sweep parameters every shard of one job shares;
+// they mirror the corresponding POST /v1/sweeps fields.
+type JobParams struct {
+	// Spec is the job's inline workload-spec file, forwarded verbatim so
+	// workers can resolve spec-defined apps and mixes.
+	Spec     json.RawMessage `json:"spec,omitempty"`
+	Scale    float64         `json:"scale,omitempty"`
+	Seed     uint64          `json:"seed,omitempty"`
+	Reconfig uint64          `json:"reconfig,omitempty"`
+	NoBypass bool            `json:"nobypass,omitempty"`
+}
+
+// CellsRequest is the POST /v1/cells body: the shared parameters plus
+// the explicit cells of one shard. The worker runs exactly these cells
+// as one job (internal/server decodes this same type).
+type CellsRequest struct {
+	JobParams
+	Cells []experiments.SweepCell `json:"cells"`
+}
+
+// Pool is one job's view of the worker fleet. Worker failures are
+// sticky for the lifetime of the Pool (one coordinator job): a daemon
+// that died mid-shard is not retried until the next job builds a fresh
+// Pool against the configured URLs.
+type Pool struct {
+	client *http.Client
+	logf   func(format string, args ...any)
+
+	mu      sync.Mutex
+	workers []*workerState
+}
+
+type workerState struct {
+	url  string
+	dead bool
+
+	served, computed, errors, redispatched int
+}
+
+// Options configure a Pool.
+type Options struct {
+	// Client overrides the HTTP client (tests, timeouts). The default
+	// has no overall timeout: SSE streams live as long as the shard.
+	Client *http.Client
+	// Logf, if set, receives dispatch progress lines (worker deaths,
+	// re-dispatches).
+	Logf func(format string, args ...any)
+}
+
+// New builds a Pool over the given worker base URLs.
+func New(urls []string, opt Options) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("dispatch: no worker URLs")
+	}
+	p := &Pool{client: opt.Client, logf: opt.Logf}
+	if p.client == nil {
+		p.client = &http.Client{}
+	}
+	if p.logf == nil {
+		p.logf = func(string, ...any) {}
+	}
+	seen := map[string]bool{}
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" || seen[u] {
+			continue
+		}
+		seen[u] = true
+		p.workers = append(p.workers, &workerState{url: u})
+	}
+	if len(p.workers) == 0 {
+		return nil, fmt.Errorf("dispatch: no worker URLs")
+	}
+	return p, nil
+}
+
+// ShardOf deterministically routes one cell onto [0, n): the cell's
+// content-address hashed with FNV-1a, falling back to the identity
+// triple for uncacheable cells. Pure function of (cell, n), so every
+// coordinator — and every retry — routes the same grid the same way.
+func ShardOf(c experiments.CellRef, n int) int {
+	s := c.Key
+	if s == "" {
+		s = c.Cell.App + "|" + c.Cell.Mix + "|" + c.Cell.Scheme
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int(h.Sum64() % uint64(n))
+}
+
+// Exec returns a RemoteExec bound to one job's parameters, pluggable
+// straight into experiments.SweepConfig.Remote.
+func (p *Pool) Exec(params JobParams) experiments.RemoteExec {
+	return func(ctx context.Context, cells []experiments.CellRef, deliver func(experiments.CellRef, experiments.SweepRow)) error {
+		return p.run(ctx, params, cells, deliver)
+	}
+}
+
+// Stats snapshots the per-worker split for this Pool's job.
+func (p *Pool) Stats() []experiments.WorkerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]experiments.WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = experiments.WorkerStats{
+			Worker: w.url, Served: w.served, Computed: w.computed,
+			Errors: w.errors, Redispatched: w.redispatched, Dead: w.dead,
+		}
+	}
+	return out
+}
+
+func (p *Pool) alive() []*workerState {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []*workerState
+	for _, w := range p.workers {
+		if !w.dead {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// run dispatches cells until every one is delivered or no workers
+// survive. Each round shards the pending cells across the live workers;
+// a failed shard marks its worker dead and feeds its undelivered cells
+// into the next round.
+func (p *Pool) run(ctx context.Context, params JobParams, cells []experiments.CellRef, deliver func(experiments.CellRef, experiments.SweepRow)) error {
+	pending := cells
+	for len(pending) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		alive := p.alive()
+		if len(alive) == 0 {
+			return fmt.Errorf("all %d workers failed with %d cells undelivered", len(p.workers), len(pending))
+		}
+		shards := make([][]experiments.CellRef, len(alive))
+		for _, c := range pending {
+			s := ShardOf(c, len(alive))
+			shards[s] = append(shards[s], c)
+		}
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var next []experiments.CellRef
+		type death struct {
+			w *workerState
+			n int
+		}
+		var deaths []death
+		for si := range shards {
+			if len(shards[si]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(w *workerState, shard []experiments.CellRef) {
+				defer wg.Done()
+				undone, err := p.runShard(ctx, w, params, shard, deliver)
+				if err == nil || ctx.Err() != nil {
+					return
+				}
+				var rej *shardRejectedError
+				if errors.As(err, &rej) {
+					// Deterministic rejection: the cells are poison for
+					// every worker, so fail them here instead of killing
+					// the fleet one healthy worker at a time.
+					p.logf("dispatch: worker %s rejected its shard (%v); failing %d cells",
+						w.url, err, len(undone))
+					p.mu.Lock()
+					w.errors += len(undone)
+					p.mu.Unlock()
+					for _, c := range undone {
+						deliver(c, errorRowFor(c, err.Error()))
+					}
+					return
+				}
+				p.mu.Lock()
+				w.dead = true
+				p.mu.Unlock()
+				p.logf("dispatch: worker %s failed (%v) with %d of its %d cells undelivered",
+					w.url, err, len(undone), len(shard))
+				mu.Lock()
+				next = append(next, undone...)
+				deaths = append(deaths, death{w, len(undone)})
+				mu.Unlock()
+			}(alive[si], shards[si])
+		}
+		wg.Wait()
+		// Redispatched counts cells actually moved to survivors: with no
+		// one left, the undelivered cells become error rows instead.
+		if len(next) > 0 && len(p.alive()) > 0 {
+			p.mu.Lock()
+			for _, d := range deaths {
+				d.w.redispatched += d.n
+			}
+			p.mu.Unlock()
+		}
+		// Grid order keeps re-dispatch rounds deterministic.
+		sort.Slice(next, func(i, j int) bool { return next[i].Index < next[j].Index })
+		pending = next
+	}
+	return ctx.Err()
+}
+
+// runShard runs one worker's shard: submit the cells, follow the job's
+// SSE stream, and deliver each row into the coordinator's grid. It
+// returns the cells that were not delivered (for re-dispatch) and a
+// non-nil error when the worker must be considered dead: connection
+// failures, a stream that ends without its done event, or a worker job
+// that finished canceled/failed (worker shutdown cancels its jobs).
+// Canceled rows are never delivered — those cells belong to a survivor.
+func (p *Pool) runShard(ctx context.Context, w *workerState, params JobParams, shard []experiments.CellRef, deliver func(experiments.CellRef, experiments.SweepRow)) (undelivered []experiments.CellRef, err error) {
+	// Route returned rows by key first, then by identity triple (keys
+	// are recomputed worker-side and can be empty for uncacheable
+	// cells; identities are unique within one job's grid).
+	byKey := map[string]int{}
+	byIdent := map[string]int{}
+	taken := make([]bool, len(shard))
+	req := CellsRequest{JobParams: params, Cells: make([]experiments.SweepCell, len(shard))}
+	for i, c := range shard {
+		req.Cells[i] = c.Cell
+		if c.Key != "" {
+			byKey[c.Key] = i
+		}
+		byIdent[identOf(c.Cell)] = i
+	}
+	// take routes a returned row to its shard cell. keyMismatch marks a
+	// row whose identity matches but whose recomputed content-address
+	// does not — the worker simulated different inputs (a stale .wtrc
+	// copy, say), and memoizing its numbers under our key would poison
+	// the store.
+	take := func(row experiments.SweepRow) (ref experiments.CellRef, ok, keyMismatch bool) {
+		ident := identOf(experiments.SweepCell{App: row.App, Scheme: row.Scheme})
+		if row.Mix {
+			ident = identOf(experiments.SweepCell{Mix: row.App, Scheme: row.Scheme})
+		}
+		i, found := byKey[row.Key]
+		if row.Key == "" || !found {
+			i, found = byIdent[ident]
+			if found && row.Key != "" && shard[i].Key != "" && row.Key != shard[i].Key {
+				keyMismatch = true
+			}
+		}
+		if !found || taken[i] {
+			return experiments.CellRef{}, false, false
+		}
+		taken[i] = true
+		return shard[i], true, keyMismatch
+	}
+	leftover := func() []experiments.CellRef {
+		var out []experiments.CellRef
+		for i, t := range taken {
+			if !t {
+				out = append(out, shard[i])
+			}
+		}
+		return out
+	}
+
+	id, err := p.submitCells(ctx, w, &req)
+	if err != nil {
+		return shard, err
+	}
+	// Whatever happens below, don't leave the worker simulating cells
+	// nobody is waiting for (coordinator canceled, stream died).
+	defer func() {
+		if err != nil || ctx.Err() != nil {
+			p.cancelJob(w, id)
+		}
+	}()
+
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/jobs/"+id+"/stream", nil)
+	if err != nil {
+		return shard, err
+	}
+	resp, err := p.client.Do(httpReq)
+	if err != nil {
+		return shard, fmt.Errorf("stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return shard, fmt.Errorf("stream: HTTP %d", resp.StatusCode)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	event := ""
+	doneState := ""
+	deliveredN := 0
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "row":
+				var row experiments.SweepRow
+				if json.Unmarshal([]byte(data), &row) != nil {
+					continue
+				}
+				if row.Err == "canceled" {
+					continue // worker shutting down: the cell re-dispatches
+				}
+				ref, ok, keyMismatch := take(row)
+				if !ok {
+					continue
+				}
+				if keyMismatch {
+					row = errorRowFor(ref, fmt.Sprintf(
+						"key mismatch: worker %s computed %s for a cell addressed %s — differing inputs (stale trace file?); row rejected",
+						w.url, row.Key, ref.Key))
+				}
+				if row.Err != "" {
+					p.mu.Lock()
+					w.errors++
+					p.mu.Unlock()
+				}
+				deliveredN++
+				deliver(ref, row)
+			case "done":
+				var st struct {
+					State    string `json:"state"`
+					Served   int    `json:"served"`
+					Computed int    `json:"computed"`
+				}
+				if json.Unmarshal([]byte(data), &st) == nil {
+					doneState = st.State
+					p.mu.Lock()
+					w.served += st.Served
+					w.computed += st.Computed
+					p.mu.Unlock()
+				}
+			}
+		}
+		if doneState != "" {
+			break
+		}
+	}
+	if scanErr := sc.Err(); doneState == "" {
+		// The stream died before the worker's authoritative done-event
+		// split; attribute what it demonstrably delivered as computed so
+		// the per-worker stats still roughly sum to the grid.
+		p.mu.Lock()
+		w.computed += deliveredN
+		p.mu.Unlock()
+		if ctx.Err() != nil {
+			return leftover(), nil
+		}
+		return leftover(), fmt.Errorf("stream ended without done event (%v)", scanErr)
+	}
+	if doneState != "done" {
+		return leftover(), fmt.Errorf("worker job finished %s", doneState)
+	}
+	return leftover(), nil
+}
+
+func identOf(c experiments.SweepCell) string {
+	return c.App + "|" + c.Mix + "|" + c.Scheme
+}
+
+// submitRetries and submitBackoff bound how long a shard submit rides
+// out transient 503s (worker job queue full, ~3s total) before the
+// worker is declared dead.
+const (
+	submitRetries = 5
+	submitBackoff = 200 * time.Millisecond
+)
+
+// submitCells POSTs one shard and returns the worker's job id. A 503
+// is back-pressure (full job queue), not death: it is retried with
+// backoff so a briefly saturated worker keeps its shard.
+func (p *Pool) submitCells(ctx context.Context, w *workerState, req *CellsRequest) (string, error) {
+	for attempt := 0; ; attempt++ {
+		id, retryable, err := p.trySubmitCells(ctx, w, req)
+		if err == nil {
+			return id, nil
+		}
+		if !retryable || attempt >= submitRetries {
+			return "", err
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(submitBackoff * time.Duration(attempt+1)):
+		}
+	}
+}
+
+func (p *Pool) trySubmitCells(ctx context.Context, w *workerState, req *CellsRequest) (id string, retryable bool, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", false, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/cells", bytes.NewReader(body))
+	if err != nil {
+		return "", false, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(httpReq)
+	if err != nil {
+		return "", false, fmt.Errorf("submit cells: %w", err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", false, fmt.Errorf("submit cells: HTTP %d: %v", resp.StatusCode, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusAccepted && out.ID != "":
+		return out.ID, false, nil
+	case resp.StatusCode == http.StatusBadRequest:
+		// The worker understood the shard and said no — deterministic,
+		// so don't kill workers over it (see shardRejectedError).
+		return "", false, &shardRejectedError{fmt.Sprintf("submit cells: HTTP 400: %s", out.Error)}
+	default:
+		return "", resp.StatusCode == http.StatusServiceUnavailable,
+			fmt.Errorf("submit cells: HTTP %d: %s", resp.StatusCode, out.Error)
+	}
+}
+
+// cancelJob best-effort DELETEs a worker job (the coordinator is gone
+// or no longer listening). It deliberately ignores the caller's
+// context, which is typically already canceled.
+func (p *Pool) cancelJob(w *workerState, id string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.url+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return
+	}
+	if resp, err := p.client.Do(req); err == nil {
+		resp.Body.Close()
+	}
+}

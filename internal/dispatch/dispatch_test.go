@@ -1,0 +1,548 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"whirlpool/internal/experiments"
+)
+
+func refs(n int) []experiments.CellRef {
+	out := make([]experiments.CellRef, n)
+	for i := range out {
+		out[i] = experiments.CellRef{
+			Index: i,
+			Cell:  experiments.SweepCell{App: fmt.Sprintf("app%d", i), Scheme: "jigsaw"},
+			Key:   fmt.Sprintf("%064d", i),
+		}
+	}
+	return out
+}
+
+// ShardOf must be a pure function of (cell, n): same inputs, same
+// shard, every time, and always in range.
+func TestShardOfDeterministic(t *testing.T) {
+	cells := refs(64)
+	for _, n := range []int{1, 2, 3, 7} {
+		counts := make([]int, n)
+		for _, c := range cells {
+			s := ShardOf(c, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%q, %d) = %d out of range", c.Key, n, s)
+			}
+			if again := ShardOf(c, n); again != s {
+				t.Fatalf("ShardOf not deterministic: %d then %d", s, again)
+			}
+			counts[s]++
+		}
+		if n > 1 {
+			for s, c := range counts {
+				if c == 0 {
+					t.Errorf("n=%d: shard %d got no cells of %d (suspicious hash)", n, s, len(cells))
+				}
+			}
+		}
+	}
+	// Keyless cells fall back to the identity triple, still deterministic.
+	c := experiments.CellRef{Cell: experiments.SweepCell{App: "a", Scheme: "s"}}
+	if ShardOf(c, 5) != ShardOf(c, 5) {
+		t.Fatal("keyless ShardOf not deterministic")
+	}
+}
+
+// fakeWorker speaks just enough of the whirld protocol to be dispatched
+// to: POST /v1/cells accepts a shard, the SSE stream fabricates one row
+// per cell (cycles = a fingerprint of the worker), then a done event.
+// dieAfter >= 0 makes the stream die after that many rows, before the
+// done event — the "worker killed mid-shard" failure.
+type fakeWorker struct {
+	t         *testing.T
+	fp        uint64
+	dieAfter  int
+	mu        sync.Mutex
+	jobs      map[string][]experiments.SweepCell
+	seq       int
+	submitted int
+	canceled  int
+}
+
+func newFakeWorker(t *testing.T, fp uint64, dieAfter int) (*fakeWorker, *httptest.Server) {
+	f := &fakeWorker{t: t, fp: fp, dieAfter: dieAfter, jobs: map[string][]experiments.SweepCell{}}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells", f.handleCells)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", f.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.canceled++
+		f.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return f, ts
+}
+
+func (f *fakeWorker) handleCells(w http.ResponseWriter, r *http.Request) {
+	var req CellsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	f.mu.Lock()
+	f.seq++
+	f.submitted += len(req.Cells)
+	id := fmt.Sprintf("j%d", f.seq)
+	f.jobs[id] = req.Cells
+	f.mu.Unlock()
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{"id": id})
+}
+
+func (f *fakeWorker) handleStream(w http.ResponseWriter, r *http.Request) {
+	f.mu.Lock()
+	cells := f.jobs[r.PathValue("id")]
+	f.mu.Unlock()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.WriteHeader(http.StatusOK)
+	fl := w.(http.Flusher)
+	for i, c := range cells {
+		if f.dieAfter >= 0 && i >= f.dieAfter {
+			fl.Flush()
+			return // connection drops: no done event
+		}
+		row := experiments.SweepRow{App: c.App, Scheme: c.Scheme, Mix: c.Mix != "", Cycles: f.fp}
+		if c.Mix != "" {
+			row.App = c.Mix
+		}
+		data, _ := json.Marshal(row)
+		fmt.Fprintf(w, "id: %d\nevent: row\ndata: %s\n\n", i+1, data)
+		fl.Flush()
+	}
+	st := map[string]any{"state": "done", "served": 0, "computed": len(cells)}
+	data, _ := json.Marshal(st)
+	fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+	fl.Flush()
+}
+
+// collectDelivery runs a Pool over the cells and returns which worker
+// fingerprint delivered each cell index.
+func collectDelivery(t *testing.T, p *Pool, cells []experiments.CellRef) map[int]uint64 {
+	t.Helper()
+	got := map[int]uint64{}
+	var mu sync.Mutex
+	err := p.Exec(JobParams{Scale: 0.05})(context.Background(), cells,
+		func(ref experiments.CellRef, row experiments.SweepRow) {
+			mu.Lock()
+			if _, dup := got[ref.Index]; dup {
+				t.Errorf("cell %d delivered twice", ref.Index)
+			}
+			got[ref.Index] = row.Cycles
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	return got
+}
+
+// Two healthy workers split the grid deterministically and deliver
+// every cell exactly once.
+func TestPoolDispatchesAllCells(t *testing.T) {
+	_, ts1 := newFakeWorker(t, 111, -1)
+	_, ts2 := newFakeWorker(t, 222, -1)
+	cells := refs(20)
+	p, err := New([]string{ts1.URL, ts2.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectDelivery(t, p, cells)
+	if len(got) != len(cells) {
+		t.Fatalf("delivered %d of %d cells", len(got), len(cells))
+	}
+	// Delivery matches the routing function exactly.
+	for _, c := range cells {
+		wantFP := uint64(111)
+		if ShardOf(c, 2) == 1 {
+			wantFP = 222
+		}
+		if got[c.Index] != wantFP {
+			t.Errorf("cell %d delivered by %d, routing says %d", c.Index, got[c.Index], wantFP)
+		}
+	}
+	for _, ws := range p.Stats() {
+		if ws.Dead || ws.Computed == 0 {
+			t.Errorf("healthy fleet stats: %+v", ws)
+		}
+	}
+}
+
+// A worker that dies mid-shard is marked dead and its undelivered cells
+// re-dispatch to the survivor; nothing is delivered twice, nothing is
+// lost.
+func TestPoolRedispatchOnWorkerDeath(t *testing.T) {
+	_, healthy := newFakeWorker(t, 111, -1)
+	dying, dyingTS := newFakeWorker(t, 666, 2) // delivers 2 rows, then drops
+	cells := refs(24)
+	p, err := New([]string{healthy.URL, dyingTS.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged []string
+	p.logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	got := collectDelivery(t, p, cells)
+	if len(got) != len(cells) {
+		t.Fatalf("delivered %d of %d cells after worker death", len(got), len(cells))
+	}
+	var dyingShard int
+	for _, c := range cells {
+		if ShardOf(c, 2) == 1 {
+			dyingShard++
+		}
+	}
+	if dyingShard < 3 {
+		t.Fatalf("test needs the dying worker to get >2 cells, got %d", dyingShard)
+	}
+	survived, died := 0, 0
+	for _, fp := range got {
+		switch fp {
+		case 111:
+			survived++
+		case 666:
+			died++
+		}
+	}
+	if died != 2 || survived != len(cells)-2 {
+		t.Fatalf("delivery split = %d from dying + %d from survivor, want 2 + %d", died, survived, len(cells)-2)
+	}
+	stats := p.Stats()
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Worker < stats[j].Worker })
+	var deadStats, aliveStats *experiments.WorkerStats
+	for i := range stats {
+		if stats[i].Worker == dyingTS.URL {
+			deadStats = &stats[i]
+		} else {
+			aliveStats = &stats[i]
+		}
+	}
+	if deadStats == nil || !deadStats.Dead || deadStats.Redispatched != dyingShard-2 {
+		t.Errorf("dead worker stats = %+v, want Dead with %d redispatched", deadStats, dyingShard-2)
+	}
+	if aliveStats == nil || aliveStats.Dead || aliveStats.Computed == 0 {
+		t.Errorf("survivor stats = %+v", aliveStats)
+	}
+	// The rows the dying worker demonstrably delivered before dropping
+	// its stream are still attributed to it.
+	if deadStats.Computed != 2 {
+		t.Errorf("dead worker computed = %d, want 2 (best-effort attribution)", deadStats.Computed)
+	}
+	if len(logged) == 0 || !strings.Contains(logged[0], "undelivered") {
+		t.Errorf("no worker-failure log line: %v", logged)
+	}
+	if dying.canceled == 0 {
+		t.Errorf("dead worker's orphan job was never canceled")
+	}
+}
+
+// When every worker dies the executor fails, reporting how much was
+// left undelivered — the sweep layer then turns that into error rows.
+func TestPoolAllWorkersDead(t *testing.T) {
+	_, ts1 := newFakeWorker(t, 1, 0)
+	_, ts2 := newFakeWorker(t, 2, 0)
+	p, err := New([]string{ts1.URL, ts2.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	execErr := p.Exec(JobParams{})(context.Background(), refs(6),
+		func(experiments.CellRef, experiments.SweepRow) {})
+	if execErr == nil || !strings.Contains(execErr.Error(), "all 2 workers failed") {
+		t.Fatalf("err = %v", execErr)
+	}
+	for _, ws := range p.Stats() {
+		if !ws.Dead {
+			t.Errorf("worker %s not marked dead", ws.Worker)
+		}
+	}
+	// Nothing was moved to a survivor (there were none), so nothing
+	// counts as redispatched — the cells became error rows instead.
+	for _, ws := range p.Stats() {
+		if ws.Redispatched != 0 {
+			t.Errorf("redispatched counted with no survivors to take the cells: %+v", ws)
+		}
+	}
+}
+
+// Rows the worker reports as canceled (it is shutting down) are never
+// delivered; the shard fails over instead.
+func TestPoolCanceledRowsRedispatch(t *testing.T) {
+	// A worker whose rows all come back canceled, then a canceled done.
+	mux := http.NewServeMux()
+	var jobs sync.Map
+	seq := 0
+	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		var req CellsRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		seq++
+		id := fmt.Sprintf("j%d", seq)
+		jobs.Store(id, req.Cells)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": id})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		v, _ := jobs.Load(r.PathValue("id"))
+		cells := v.([]experiments.SweepCell)
+		w.Header().Set("Content-Type", "text/event-stream")
+		for _, c := range cells {
+			data, _ := json.Marshal(experiments.SweepRow{App: c.App, Scheme: c.Scheme, Err: "canceled"})
+			fmt.Fprintf(w, "event: row\ndata: %s\n\n", data)
+		}
+		data, _ := json.Marshal(map[string]any{"state": "canceled"})
+		fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	shuttingDown := httptest.NewServer(mux)
+	t.Cleanup(shuttingDown.Close)
+	_, healthy := newFakeWorker(t, 111, -1)
+
+	cells := refs(12)
+	p, err := New([]string{shuttingDown.URL, healthy.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectDelivery(t, p, cells)
+	if len(got) != len(cells) {
+		t.Fatalf("delivered %d of %d", len(got), len(cells))
+	}
+	for i, fp := range got {
+		if fp != 111 {
+			t.Errorf("cell %d delivered by the shutting-down worker (fp %d)", i, fp)
+		}
+	}
+}
+
+// A canceled coordinator context stops dispatch promptly and cancels
+// the in-flight worker jobs.
+func TestPoolContextCancel(t *testing.T) {
+	// A worker that streams one row then stalls forever.
+	var stallCanceled sync.WaitGroup
+	stallCanceled.Add(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": "j1"})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.(http.Flusher).Flush()
+		<-r.Context().Done()
+	})
+	var delOnce sync.Once
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		delOnce.Do(stallCanceled.Done)
+		w.WriteHeader(200)
+	})
+	stall := httptest.NewServer(mux)
+	t.Cleanup(stall.Close)
+
+	p, err := New([]string{stall.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	execErr := p.Exec(JobParams{})(ctx, refs(3), func(experiments.CellRef, experiments.SweepRow) {})
+	if execErr == nil {
+		t.Fatal("canceled dispatch returned nil")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancel took %v", time.Since(start))
+	}
+	stallCanceled.Wait() // the orphan worker job got its DELETE
+}
+
+// A 400 on shard submit is deterministic — every worker would reject
+// the same cells — so the shard fails as explicit error rows without
+// killing the worker or cascading across the fleet.
+func TestPoolShardRejectionDoesNotKillFleet(t *testing.T) {
+	rejecting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]any{"error": `unknown app "ghost"`})
+	}))
+	t.Cleanup(rejecting.Close)
+	_, healthy := newFakeWorker(t, 111, -1)
+
+	cells := refs(16)
+	p, err := New([]string{rejecting.URL, healthy.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]experiments.SweepRow{}
+	var mu sync.Mutex
+	execErr := p.Exec(JobParams{})(context.Background(), cells,
+		func(ref experiments.CellRef, row experiments.SweepRow) {
+			mu.Lock()
+			got[ref.Index] = row
+			mu.Unlock()
+		})
+	if execErr != nil {
+		t.Fatalf("rejection cascaded into job failure: %v", execErr)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("delivered %d of %d cells", len(got), len(cells))
+	}
+	var errRows, cleanRows int
+	for _, row := range got {
+		if row.Err != "" {
+			if !strings.Contains(row.Err, "unknown app") {
+				t.Fatalf("rejection row lost the worker's message: %+v", row)
+			}
+			errRows++
+		} else {
+			cleanRows++
+		}
+	}
+	if errRows == 0 || cleanRows == 0 {
+		t.Fatalf("split = %d rejected + %d computed; want both nonzero", errRows, cleanRows)
+	}
+	for _, ws := range p.Stats() {
+		if ws.Dead {
+			t.Errorf("worker %s marked dead by a 400 rejection", ws.Worker)
+		}
+		if ws.Redispatched != 0 {
+			t.Errorf("rejected cells were re-dispatched: %+v", ws)
+		}
+	}
+}
+
+// A worker whose recomputed key disagrees with the coordinator's is
+// reporting a simulation of different inputs; its rows become error
+// rows instead of poisoning the store under the wrong key.
+func TestPoolKeyMismatchRejected(t *testing.T) {
+	mux := http.NewServeMux()
+	var jobs sync.Map
+	seq := 0
+	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		var req CellsRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		seq++
+		id := fmt.Sprintf("j%d", seq)
+		jobs.Store(id, req.Cells)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": id})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		v, _ := jobs.Load(r.PathValue("id"))
+		cells := v.([]experiments.SweepCell)
+		w.Header().Set("Content-Type", "text/event-stream")
+		for _, c := range cells {
+			row := experiments.SweepRow{App: c.App, Scheme: c.Scheme, Cycles: 7,
+				Key: strings.Repeat("f", 64)} // never the coordinator's key
+			data, _ := json.Marshal(row)
+			fmt.Fprintf(w, "event: row\ndata: %s\n\n", data)
+		}
+		data, _ := json.Marshal(map[string]any{"state": "done", "computed": len(cells)})
+		fmt.Fprintf(w, "event: done\ndata: %s\n\n", data)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	stale := httptest.NewServer(mux)
+	t.Cleanup(stale.Close)
+
+	cells := refs(4)
+	p, err := New([]string{stale.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]experiments.SweepRow{}
+	var mu sync.Mutex
+	execErr := p.Exec(JobParams{})(context.Background(), cells,
+		func(ref experiments.CellRef, row experiments.SweepRow) {
+			mu.Lock()
+			got[ref.Index] = row
+			mu.Unlock()
+		})
+	if execErr != nil {
+		t.Fatalf("Exec: %v", execErr)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("delivered %d of %d", len(got), len(cells))
+	}
+	for i, row := range got {
+		if !strings.Contains(row.Err, "key mismatch") {
+			t.Fatalf("cell %d accepted despite key mismatch: %+v", i, row)
+		}
+		if row.Cycles != 0 {
+			t.Fatalf("cell %d kept the mismatched numbers: %+v", i, row)
+		}
+	}
+}
+
+// A 503 on shard submit is back-pressure, not death: the pool retries
+// with backoff and the worker keeps its shard.
+func TestPoolRetriesSubmit503(t *testing.T) {
+	inner, _ := newFakeWorker(t, 111, -1)
+	var rejects int
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		rejects++
+		reject := rejects <= 2
+		mu.Unlock()
+		if reject {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(map[string]any{"error": "job queue is full"})
+			return
+		}
+		inner.handleCells(w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", inner.handleStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+
+	cells := refs(4)
+	p, err := New([]string{ts.URL}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectDelivery(t, p, cells)
+	if len(got) != len(cells) {
+		t.Fatalf("delivered %d of %d after transient 503s", len(got), len(cells))
+	}
+	if rejects != 3 { // 2 rejections + the accepted attempt
+		t.Fatalf("submit attempts = %d, want 3", rejects)
+	}
+	for _, ws := range p.Stats() {
+		if ws.Dead {
+			t.Fatalf("worker marked dead by transient 503s: %+v", ws)
+		}
+	}
+}
+
+// New rejects empty fleets and dedupes URLs.
+func TestPoolNew(t *testing.T) {
+	if _, err := New(nil, Options{}); err == nil {
+		t.Fatal("New accepted an empty fleet")
+	}
+	if _, err := New([]string{"", "  "}, Options{}); err == nil {
+		t.Fatal("New accepted blank URLs")
+	}
+	p, err := New([]string{"http://a", "http://a/", "http://b"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.workers) != 2 {
+		t.Fatalf("dedup left %d workers, want 2", len(p.workers))
+	}
+}

@@ -104,21 +104,32 @@ func (h *Harness) cellKey(j sweepJob, noBypass bool, memo map[string]string) (st
 	return hex.EncodeToString(d.Sum(nil)), nil
 }
 
-// storeLookup prefills rows for every cell already present in the
-// store, returning which cells were served and each cell's key. A
-// served cell costs one store Get: no trace generation, no simulation.
-// Records that fail to decode (or memoized error rows, which are never
-// written but could exist in a hand-edited store) are recomputed.
-func (h *Harness) storeLookup(store *results.Store, jobs []sweepJob, noBypass bool, rows []SweepRow) (served []bool, keys []string) {
-	served = make([]bool, len(jobs))
-	keys = make([]string, len(jobs))
+// cellKeys content-addresses every grid cell. Keys are computed even
+// without a store: rows carry them out (SweepRow.Key), and distributed
+// coordinators shard and route by them. Uncacheable cells (e.g. an
+// unreadable .wtrc) get an empty key and are computed, never stored.
+func (h *Harness) cellKeys(jobs []sweepJob, noBypass bool) []string {
+	keys := make([]string, len(jobs))
 	traceMemo := map[string]string{}
 	for i, j := range jobs {
-		key, err := h.cellKey(j, noBypass, traceMemo)
-		if err != nil {
+		if key, err := h.cellKey(j, noBypass, traceMemo); err == nil {
+			keys[i] = key
+		}
+	}
+	return keys
+}
+
+// storeLookup prefills rows for every keyed cell already present in the
+// store, marking them served. A served cell costs one store Get: no
+// trace generation, no simulation. Records that fail to decode (or
+// memoized error rows, which are never written but could exist in a
+// hand-edited store) are recomputed. The engine's key overrides the
+// stored row's (older stores predate SweepRow.Key).
+func (h *Harness) storeLookup(store *results.Store, keys []string, rows []SweepRow, served []bool) {
+	for i, key := range keys {
+		if key == "" {
 			continue // uncacheable: compute, don't store
 		}
-		keys[i] = key
 		rec, ok := store.Get(key)
 		if !ok {
 			continue
@@ -127,10 +138,10 @@ func (h *Harness) storeLookup(store *results.Store, jobs []sweepJob, noBypass bo
 		if json.Unmarshal(rec.Row, &row) != nil || row.Err != "" {
 			continue
 		}
+		row.Key = key
 		rows[i] = row
 		served[i] = true
 	}
-	return served, keys
 }
 
 // storeCommit appends one freshly computed row under its cell key.

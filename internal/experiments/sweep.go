@@ -28,22 +28,56 @@ type SweepMix struct {
 	Chip *noc.Chip
 }
 
+// SweepCell names one grid cell explicitly: either an app or a mix
+// (resolved against SweepConfig.Mixes by name) crossed with one scheme.
+// Explicit cells are how a distributed coordinator hands a shard of its
+// grid to a worker: the worker runs exactly these cells, nothing else.
+type SweepCell struct {
+	App    string `json:"app,omitempty"`
+	Mix    string `json:"mix,omitempty"`
+	Scheme string `json:"scheme"`
+}
+
+// CellRef identifies one pending (not store-served) cell handed to a
+// Remote executor: its position in the grid, its identity, and its
+// content-address (empty when the cell is uncacheable). Rows coming
+// back from remote workers carry the same key, which is how the
+// coordinator routes them into the grid.
+type CellRef struct {
+	Index int
+	Cell  SweepCell
+	Key   string
+}
+
+// RemoteExec executes a sweep's pending cells somewhere else (the
+// dispatch layer shards them across worker daemons). It must call
+// deliver at most once per cell, from any goroutine, and must not call
+// it after returning; cells never delivered are marked canceled (when
+// ctx was canceled) or as error rows (when the executor failed).
+type RemoteExec func(ctx context.Context, cells []CellRef, deliver func(CellRef, SweepRow)) error
+
 // SweepConfig describes an app × scheme grid to fan out across workers.
 type SweepConfig struct {
 	// Apps are single-app jobs (run on core 0 of the 4-core chip).
 	Apps []string
 	// Mixes are multi-app jobs (4-core chip up to 4 apps, 16-core up
-	// to 16, or each mix's own Chip).
+	// to 16, or each mix's own Chip). With Cells set they are only
+	// definitions: mix cells resolve against them by name.
 	Mixes []SweepMix
 	// Kinds are the schemes to cross with every app and mix; nil means
-	// every registered scheme.
+	// every registered scheme. Ignored when Cells is set.
 	Kinds []schemes.Kind
+	// Cells, when non-empty, replaces the apps × schemes cross product
+	// with exactly these cells, in order (shard execution).
+	Cells []SweepCell
 	// Workers bounds concurrency; <= 0 means GOMAXPROCS.
 	Workers int
 	// NoBypass disables VC bypassing in every run (ablation sweeps).
 	NoBypass bool
-	// OnRow, if set, observes each finished row (progress reporting).
-	// It is called from worker goroutines, serialized by the engine.
+	// OnRow, if set, observes each finished row (progress reporting),
+	// including canceled cells, so done reaches total even on aborted
+	// sweeps. It is called from worker goroutines, serialized by the
+	// engine.
 	OnRow func(done, total int, row SweepRow)
 	// Context, if set, cancels the sweep: in-flight cells finish, cells
 	// not yet started are marked with Err "canceled", and Sweep returns
@@ -58,6 +92,12 @@ type SweepConfig struct {
 	// canceled one stopped. Store.Stats() proves the split: Hits rows
 	// were served, Misses were computed. Error rows are never memoized.
 	Store *results.Store
+	// Remote, if set, executes the pending (not store-served) cells via
+	// a remote executor instead of the local worker pool. Store lookup,
+	// per-cell commit, progress, and cancellation accounting all stay
+	// here; only the simulation happens elsewhere. No traces are built
+	// locally.
+	Remote RemoteExec
 	// Stats, if non-nil, is filled with this sweep's cell-resolution
 	// summary before Sweep returns (per-sweep accounting even when the
 	// Store is shared by concurrent sweeps).
@@ -76,6 +116,26 @@ type SweepStats struct {
 	Errors int `json:"errors"`
 	// Canceled counts cells skipped by context cancellation.
 	Canceled int `json:"canceled"`
+	// Workers, on distributed sweeps, splits the work by executing
+	// worker (filled by the dispatch layer, not by Sweep itself).
+	Workers []WorkerStats `json:"workers,omitempty"`
+}
+
+// WorkerStats is one remote worker's share of a distributed sweep.
+type WorkerStats struct {
+	// Worker is the worker daemon's base URL.
+	Worker string `json:"worker"`
+	// Served and Computed split the worker's delivered cells by how its
+	// own store resolved them.
+	Served   int `json:"served"`
+	Computed int `json:"computed"`
+	// Errors counts error rows this worker delivered.
+	Errors int `json:"errors,omitempty"`
+	// Redispatched counts cells moved to surviving workers after this
+	// one died mid-shard.
+	Redispatched int `json:"redispatched,omitempty"`
+	// Dead marks a worker that failed during the sweep.
+	Dead bool `json:"dead,omitempty"`
 }
 
 // SweepRow is one (app-or-mix, scheme) cell of a sweep's result grid.
@@ -105,16 +165,28 @@ type SweepRow struct {
 	WallMS float64 `json:"wall_ms"`
 	// Err is set when the cell failed; the other fields are then zero.
 	Err string `json:"error,omitempty"`
+	// Key is the cell's content-address (see resultstore.go), the same
+	// for every run with identical inputs; empty when the cell is
+	// uncacheable. Distributed coordinators route returned rows into
+	// the grid by it.
+	Key string `json:"key,omitempty"`
 }
 
 func rowFromResult(name string, mix bool, kind schemes.Kind, r *sim.Result, wall time.Duration) SweepRow {
+	// A zero-access cell (e.g. an empty recorded trace) finishes in zero
+	// cycles; 0/0 would be NaN, which json.Marshal rejects, so zero-work
+	// cells report zero IPC like sim.CoreResult.IPC does.
+	ipc := 0.0
+	if r.Cycles != 0 {
+		ipc = float64(r.Instrs) / float64(r.Cycles)
+	}
 	return SweepRow{
 		App:             name,
 		Scheme:          kind.ID(),
 		Mix:             mix,
 		Cycles:          r.Cycles,
 		Instrs:          r.Instrs,
-		IPC:             float64(r.Instrs) / float64(r.Cycles),
+		IPC:             ipc,
 		APKI:            r.TotalAccessesAPKI(),
 		MPKI:            r.MPKI(),
 		LLCAccesses:     r.Demand,
@@ -136,6 +208,28 @@ type sweepJob struct {
 	kind schemes.Kind
 }
 
+// name returns the row's identity column: the app or mix name.
+func (j sweepJob) name() string {
+	if j.mix != nil {
+		return j.mix.Name
+	}
+	return j.app
+}
+
+// cell returns the job's wire-format identity.
+func (j sweepJob) cell() SweepCell {
+	if j.mix != nil {
+		return SweepCell{Mix: j.mix.Name, Scheme: j.kind.ID()}
+	}
+	return SweepCell{App: j.app, Scheme: j.kind.ID()}
+}
+
+// canceledRow marks one never-run cell.
+func canceledRow(j sweepJob, key string) SweepRow {
+	return SweepRow{App: j.name(), Scheme: j.kind.ID(), Mix: j.mix != nil,
+		Key: key, Err: "canceled"}
+}
+
 // mixChip resolves the topology a mix runs on: its own Chip if set,
 // else the paper's 4-core chip when the apps and pins fit, else the
 // 16-core chip.
@@ -155,72 +249,67 @@ func mixChip(m *SweepMix) *noc.Chip {
 	return noc.SixteenCoreChip()
 }
 
-// Sweep fans the app × scheme grid out across a worker pool and returns
-// one row per cell, in deterministic grid order (apps first, then
-// mixes; schemes in the given order). Each app's trace is generated and
-// private-filtered once and shared read-only by every scheme's run, so
-// results are bit-identical to serial RunSingle/RunMix calls.
-func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
-	ctx := cfg.Context
-	if ctx == nil {
-		ctx = context.Background()
+// sweepProgress serializes per-row observation: done counts every
+// resolved cell — served, computed, failed, or canceled — so observers
+// always see done reach total.
+type sweepProgress struct {
+	mu    sync.Mutex
+	done  int
+	total int
+	onRow func(done, total int, row SweepRow)
+}
+
+func (p *sweepProgress) emit(row SweepRow) {
+	p.mu.Lock()
+	p.done++
+	if p.onRow != nil {
+		p.onRow(p.done, p.total, row)
 	}
-	kinds := cfg.Kinds
-	if len(kinds) == 0 {
-		kinds = schemes.AllKinds()
+	p.mu.Unlock()
+}
+
+// buildGrid resolves the configured grid into ordered cells: the
+// explicit Cells list when set, else apps × kinds then mixes × kinds.
+func buildGrid(cfg *SweepConfig, kinds []schemes.Kind) ([]sweepJob, error) {
+	if len(cfg.Cells) > 0 {
+		mixByName := map[string]*SweepMix{}
+		for i := range cfg.Mixes {
+			mixByName[cfg.Mixes[i].Name] = &cfg.Mixes[i]
+		}
+		jobs := make([]sweepJob, 0, len(cfg.Cells))
+		seen := make(map[SweepCell]bool, len(cfg.Cells))
+		for _, c := range cfg.Cells {
+			k, err := schemes.ParseKind(c.Scheme)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: cell: %w", err)
+			}
+			// Duplicate cells would collide in remote row routing (two
+			// grid slots, one identity) — reject them here like the
+			// daemon's shard endpoint does.
+			if seen[c] {
+				return nil, fmt.Errorf("experiments: duplicate cell %s%s/%s", c.App, c.Mix, c.Scheme)
+			}
+			seen[c] = true
+			switch {
+			case c.App != "" && c.Mix != "":
+				return nil, fmt.Errorf("experiments: cell names both app %q and mix %q", c.App, c.Mix)
+			case c.Mix != "":
+				m, ok := mixByName[c.Mix]
+				if !ok {
+					return nil, fmt.Errorf("experiments: cell references undefined mix %q", c.Mix)
+				}
+				jobs = append(jobs, sweepJob{mix: m, kind: k})
+			case c.App != "":
+				jobs = append(jobs, sweepJob{app: c.App, kind: k})
+			default:
+				return nil, fmt.Errorf("experiments: cell names neither an app nor a mix")
+			}
+		}
+		return jobs, nil
 	}
 	if len(cfg.Apps) == 0 && len(cfg.Mixes) == 0 {
 		return nil, fmt.Errorf("experiments: sweep has no apps and no mixes")
 	}
-
-	// Fail fast on unresolvable names and oversized mixes, before any
-	// expensive trace generation.
-	needed := map[string]bool{}
-	for _, a := range cfg.Apps {
-		needed[a] = true
-	}
-	for i := range cfg.Mixes {
-		m := &cfg.Mixes[i]
-		cores := mixChip(m).NCores()
-		if len(m.Apps) == 0 || len(m.Apps) > cores {
-			return nil, fmt.Errorf("experiments: mix %q has %d apps (want 1..%d)", m.Name, len(m.Apps), cores)
-		}
-		if m.Pins != nil {
-			if len(m.Pins) != len(m.Apps) {
-				return nil, fmt.Errorf("experiments: mix %q has %d pins for %d apps", m.Name, len(m.Pins), len(m.Apps))
-			}
-			seen := map[int]bool{}
-			for _, p := range m.Pins {
-				if p < 0 || p >= cores {
-					return nil, fmt.Errorf("experiments: mix %q pins core %d (chip has %d cores)", m.Name, p, cores)
-				}
-				if seen[p] {
-					return nil, fmt.Errorf("experiments: mix %q pins core %d twice", m.Name, p)
-				}
-				seen[p] = true
-			}
-		}
-		for _, a := range m.Apps {
-			needed[a] = true
-		}
-	}
-	var unknown []string
-	for a := range needed {
-		if _, ok := workloads.ByName(a); !ok {
-			unknown = append(unknown, a)
-		}
-	}
-	if len(unknown) > 0 {
-		sort.Strings(unknown)
-		return nil, fmt.Errorf("experiments: unknown apps in sweep: %v (whirlsim -list shows valid names)", unknown)
-	}
-
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-
-	// The grid, in deterministic order: apps first, then mixes.
 	var jobs []sweepJob
 	for _, a := range cfg.Apps {
 		for _, k := range kinds {
@@ -232,34 +321,170 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 			jobs = append(jobs, sweepJob{mix: &cfg.Mixes[i], kind: k})
 		}
 	}
+	return jobs, nil
+}
+
+// validateGrid fails fast on unresolvable names and malformed mixes,
+// before any expensive trace generation.
+func validateGrid(cfg *SweepConfig, jobs []sweepJob) error {
+	for i := range cfg.Mixes {
+		m := &cfg.Mixes[i]
+		cores := mixChip(m).NCores()
+		if len(m.Apps) == 0 || len(m.Apps) > cores {
+			return fmt.Errorf("experiments: mix %q has %d apps (want 1..%d)", m.Name, len(m.Apps), cores)
+		}
+		if m.Pins != nil {
+			if len(m.Pins) != len(m.Apps) {
+				return fmt.Errorf("experiments: mix %q has %d pins for %d apps", m.Name, len(m.Pins), len(m.Apps))
+			}
+			seen := map[int]bool{}
+			for _, p := range m.Pins {
+				if p < 0 || p >= cores {
+					return fmt.Errorf("experiments: mix %q pins core %d (chip has %d cores)", m.Name, p, cores)
+				}
+				if seen[p] {
+					return fmt.Errorf("experiments: mix %q pins core %d twice", m.Name, p)
+				}
+				seen[p] = true
+			}
+		}
+	}
+	needed := map[string]bool{}
+	for _, j := range jobs {
+		if j.mix != nil {
+			for _, a := range j.mix.Apps {
+				needed[a] = true
+			}
+		} else {
+			needed[j.app] = true
+		}
+	}
+	var unknown []string
+	for a := range needed {
+		if _, ok := workloads.ByName(a); !ok {
+			unknown = append(unknown, a)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("experiments: unknown apps in sweep: %v (whirlsim -list shows valid names)", unknown)
+	}
+	return nil
+}
+
+// Sweep fans the app × scheme grid out across a worker pool and returns
+// one row per cell, in deterministic grid order (apps first, then
+// mixes; schemes in the given order). Each app's trace is generated and
+// private-filtered once and shared read-only by every scheme's run, so
+// results are bit-identical to serial RunSingle/RunMix calls.
+//
+// The run is staged: cells are content-addressed (stage 0), served from
+// the result store where possible, trace-prefetched (stage 1), then
+// simulated (stage 2) — locally on the worker pool, or remotely when
+// cfg.Remote is set (the distributed coordinator path, which reuses
+// stages 0 and the per-cell commit unchanged).
+func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	kinds := cfg.Kinds
+	if len(kinds) == 0 {
+		kinds = schemes.AllKinds()
+	}
+	jobs, err := buildGrid(&cfg, kinds)
+	if err != nil {
+		return nil, err
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("experiments: sweep has no cells")
+	}
+	if err := validateGrid(&cfg, jobs); err != nil {
+		return nil, err
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	rows := make([]SweepRow, len(jobs))
 
-	// Stage 0: serve memoized cells from the result store. This happens
-	// before trace prefetch so a fully warm store costs zero trace
-	// generations as well as zero simulations.
-	var served []bool
-	var keys []string
+	// Stage 0: content-address every cell (always, not just with a
+	// store — rows carry their keys so coordinators can route them and
+	// clients can correlate runs), then serve memoized cells. This
+	// happens before trace prefetch so a fully warm store costs zero
+	// trace generations as well as zero simulations.
+	keys := h.cellKeys(jobs, cfg.NoBypass)
+	served := make([]bool, len(jobs))
 	if cfg.Store != nil {
-		served, keys = h.storeLookup(cfg.Store, jobs, cfg.NoBypass, rows)
+		h.storeLookup(cfg.Store, keys, rows, served)
 	}
 
 	// Stage 1: build every trace an unserved cell needs, concurrently,
-	// each exactly once.
-	prefetchNeeded := map[string]bool{}
+	// each exactly once. Skipped entirely on the remote path: the
+	// simulating workers build their own.
+	if cfg.Remote == nil {
+		h.prefetchTraces(ctx, jobs, served, workers)
+	}
+
+	// Stage 2: resolve every cell. Served rows stream through the
+	// progress path first (they are done by definition), in grid order.
+	prog := &sweepProgress{total: len(jobs), onRow: cfg.OnRow}
+	for i := range jobs {
+		if served[i] {
+			prog.emit(rows[i])
+		}
+	}
+	var execErr error
+	if cfg.Remote != nil {
+		execErr = h.runRemote(ctx, &cfg, jobs, rows, keys, served, prog)
+	} else {
+		h.runLocal(ctx, &cfg, jobs, rows, keys, served, prog, workers)
+	}
+
+	if cfg.Stats != nil {
+		st := SweepStats{}
+		for i, r := range rows {
+			switch {
+			case served[i]:
+				st.Served++
+			case r.Err == "canceled":
+				st.Canceled++
+			case r.Err != "":
+				st.Errors++
+			default:
+				st.Computed++
+			}
+		}
+		*cfg.Stats = st
+	}
+	if err := ctx.Err(); err != nil {
+		return rows, fmt.Errorf("experiments: sweep canceled after %d of %d cells: %w", prog.done, len(jobs), err)
+	}
+	if execErr != nil {
+		return rows, fmt.Errorf("experiments: dispatch: %w", execErr)
+	}
+	return rows, nil
+}
+
+// prefetchTraces builds each unserved cell's app traces concurrently,
+// each exactly once (stage 1).
+func (h *Harness) prefetchTraces(ctx context.Context, jobs []sweepJob, served []bool, workers int) {
+	needed := map[string]bool{}
 	for i, j := range jobs {
-		if served != nil && served[i] {
+		if served[i] {
 			continue
 		}
 		if j.mix != nil {
 			for _, a := range j.mix.Apps {
-				prefetchNeeded[a] = true
+				needed[a] = true
 			}
 		} else {
-			prefetchNeeded[j.app] = true
+			needed[j.app] = true
 		}
 	}
-	names := make([]string, 0, len(prefetchNeeded))
-	for a := range prefetchNeeded {
+	names := make([]string, 0, len(needed))
+	for a := range needed {
 		names = append(names, a)
 	}
 	sort.Strings(names)
@@ -282,74 +507,92 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 		}()
 	}
 	wg.Wait()
+}
 
-	// Stage 2: run the unserved cells. Served rows stream through OnRow
-	// first (they are done by definition), in grid order.
-	var done int
-	for i := range jobs {
-		if served != nil && served[i] {
-			done++
-			if cfg.OnRow != nil {
-				cfg.OnRow(done, len(jobs), rows[i])
-			}
-		}
-	}
+// runLocal simulates the unserved cells on the local worker pool
+// (stage 2). Every resolved cell — computed, failed, or canceled —
+// flows through the progress path.
+func (h *Harness) runLocal(ctx context.Context, cfg *SweepConfig, jobs []sweepJob, rows []SweepRow, keys []string, served []bool, prog *sweepProgress, workers int) {
 	idx := make(chan int, len(jobs))
 	for i := range jobs {
-		if served == nil || !served[i] {
+		if !served[i] {
 			idx <- i
 		}
 	}
 	close(idx)
-	var progressMu sync.Mutex
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
 				if ctx.Err() != nil {
-					name := jobs[i].app
-					if jobs[i].mix != nil {
-						name = jobs[i].mix.Name
-					}
-					rows[i] = SweepRow{App: name, Scheme: jobs[i].kind.ID(),
-						Mix: jobs[i].mix != nil, Err: "canceled"}
+					rows[i] = canceledRow(jobs[i], keys[i])
+					prog.emit(rows[i])
 					continue
 				}
-				rows[i] = h.runSweepJob(jobs[i], cfg.NoBypass)
+				row := h.runSweepJob(jobs[i], cfg.NoBypass)
+				row.Key = keys[i]
+				rows[i] = row
 				if cfg.Store != nil {
-					storeCommit(cfg.Store, keys[i], rows[i])
+					storeCommit(cfg.Store, keys[i], row)
 				}
-				progressMu.Lock()
-				done++
-				if cfg.OnRow != nil {
-					cfg.OnRow(done, len(jobs), rows[i])
-				}
-				progressMu.Unlock()
+				prog.emit(row)
 			}
 		}()
 	}
 	wg.Wait()
-	if cfg.Stats != nil {
-		st := SweepStats{}
-		for i, r := range rows {
-			switch {
-			case served != nil && served[i]:
-				st.Served++
-			case r.Err == "canceled":
-				st.Canceled++
-			case r.Err != "":
-				st.Errors++
-			default:
-				st.Computed++
+}
+
+// runRemote hands the unserved cells to cfg.Remote (stage 2 on a
+// distributed coordinator): delivered rows are keyed, committed, and
+// observed exactly like locally computed ones; cells the executor never
+// delivered become canceled or error rows, so the grid is always fully
+// accounted for.
+func (h *Harness) runRemote(ctx context.Context, cfg *SweepConfig, jobs []sweepJob, rows []SweepRow, keys []string, served []bool, prog *sweepProgress) error {
+	pending := make([]CellRef, 0, len(jobs))
+	for i, j := range jobs {
+		if !served[i] {
+			pending = append(pending, CellRef{Index: i, Cell: j.cell(), Key: keys[i]})
+		}
+	}
+	if len(pending) == 0 {
+		return nil // fully warm: don't touch the fleet
+	}
+	delivered := make([]bool, len(jobs))
+	var mu sync.Mutex
+	execErr := cfg.Remote(ctx, pending, func(ref CellRef, row SweepRow) {
+		mu.Lock()
+		bad := ref.Index < 0 || ref.Index >= len(jobs) || served[ref.Index] || delivered[ref.Index]
+		if !bad {
+			delivered[ref.Index] = true
+		}
+		mu.Unlock()
+		if bad {
+			return
+		}
+		row.Key = keys[ref.Index]
+		rows[ref.Index] = row
+		if cfg.Store != nil {
+			storeCommit(cfg.Store, keys[ref.Index], row)
+		}
+		prog.emit(row)
+	})
+	for i := range jobs {
+		if served[i] || delivered[i] {
+			continue
+		}
+		row := canceledRow(jobs[i], keys[i])
+		if ctx.Err() == nil {
+			row.Err = "dispatch: no worker delivered this cell"
+			if execErr != nil {
+				row.Err = "dispatch: " + execErr.Error()
 			}
 		}
-		*cfg.Stats = st
+		rows[i] = row
+		prog.emit(row)
 	}
-	if err := ctx.Err(); err != nil {
-		return rows, fmt.Errorf("experiments: sweep canceled after %d of %d cells: %w", done, len(jobs), err)
-	}
-	return rows, nil
+	return execErr
 }
 
 // runSweepJob executes one cell, converting panics from deep inside the
@@ -358,13 +601,9 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 // sweep-reported failure is undebuggable, because recover() by itself
 // discards where the panic happened.
 func (h *Harness) runSweepJob(j sweepJob, noBypass bool) (row SweepRow) {
-	name := j.app
-	if j.mix != nil {
-		name = j.mix.Name
-	}
 	defer func() {
 		if r := recover(); r != nil {
-			row = SweepRow{App: name, Scheme: j.kind.ID(), Mix: j.mix != nil,
+			row = SweepRow{App: j.name(), Scheme: j.kind.ID(), Mix: j.mix != nil,
 				Err: fmt.Sprintf("panic: %v\n%s", r, debug.Stack())}
 		}
 	}()
@@ -375,5 +614,5 @@ func (h *Harness) runSweepJob(j sweepJob, noBypass bool) (row SweepRow) {
 	} else {
 		r = h.RunSingle(j.app, j.kind, RunOptions{NoBypass: noBypass})
 	}
-	return rowFromResult(name, j.mix != nil, j.kind, r, time.Since(start))
+	return rowFromResult(j.name(), j.mix != nil, j.kind, r, time.Since(start))
 }

@@ -15,7 +15,7 @@ var sweepCSVHeader = []string{
 	"app", "scheme", "mix", "cycles", "instrs", "ipc", "apki", "mpki",
 	"llc_accesses", "hits", "misses", "bypasses",
 	"energy_pj", "network_energy_pj", "bank_energy_pj", "memory_energy_pj",
-	"wall_ms", "error",
+	"wall_ms", "error", "key",
 }
 
 func rowCSV(r SweepRow) []string {
@@ -36,6 +36,7 @@ func rowCSV(r SweepRow) []string {
 		strconv.FormatFloat(r.MemoryEnergyPJ, 'f', 0, 64),
 		strconv.FormatFloat(r.WallMS, 'f', 3, 64),
 		r.Err,
+		r.Key,
 	}
 }
 

@@ -13,12 +13,16 @@ import (
 // job is one submitted sweep. Rows accumulate in arrival order for SSE
 // replay; the grid-ordered result lands when the sweep finishes.
 type job struct {
-	id      string
-	req     SweepRequest
-	scale   float64
-	apps    []string
-	mixes   []experiments.SweepMix
-	kinds   []schemes.Kind
+	id    string
+	req   SweepRequest
+	scale float64
+	apps  []string
+	mixes []experiments.SweepMix
+	kinds []schemes.Kind
+	// cells, when non-nil, marks a shard job (POST /v1/cells): the grid
+	// is exactly this list, and it always runs locally — never
+	// re-dispatched — even on a coordinator.
+	cells   []experiments.SweepCell
 	total   int
 	created time.Time
 	// specFile is the parsed inline spec, registered when the job runs
@@ -33,6 +37,10 @@ type job struct {
 	msg       string
 	cancelReq bool
 	cancel    context.CancelFunc
+	// badCounted tracks which row ordinals were already counted as
+	// marshal failures, so the metrics counter grows per corrupt row,
+	// not per SSE subscriber replaying it.
+	badCounted map[int]bool
 	// changed is closed and replaced on every state/row update — a
 	// broadcast that wakes all SSE subscribers at once.
 	changed chan struct{}
@@ -99,6 +107,21 @@ func (j *job) requestCancel() {
 	}
 }
 
+// countMarshalErrOnce reports whether the row at this ordinal has not
+// been counted as a marshal failure yet, marking it counted.
+func (j *job) countMarshalErrOnce(idx int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.badCounted[idx] {
+		return false
+	}
+	if j.badCounted == nil {
+		j.badCounted = map[int]bool{}
+	}
+	j.badCounted[idx] = true
+	return true
+}
+
 // resultRows returns the grid-ordered rows once the job is terminal
 // (nil otherwise, with the current state for the error message).
 func (j *job) resultRows() ([]experiments.SweepRow, string) {
@@ -126,6 +149,9 @@ func (j *job) status() map[string]any {
 	}
 	if j.stats.Canceled > 0 {
 		st["cells_canceled"] = j.stats.Canceled
+	}
+	if len(j.stats.Workers) > 0 {
+		st["workers"] = j.stats.Workers
 	}
 	if j.msg != "" {
 		st["error"] = j.msg

@@ -18,24 +18,39 @@ type metrics struct {
 	jobsCanceled  atomic.Int64
 	rowsServed    atomic.Int64
 	rowsComputed  atomic.Int64
+	// rowMarshalErrs counts SSE rows that could not be marshaled and
+	// were surfaced as error rows instead of being dropped.
+	rowMarshalErrs atomic.Int64
+	// shardJobs counts POST /v1/cells submissions accepted (this daemon
+	// acting as a distributed worker).
+	shardJobs atomic.Int64
+	// redispatched counts cells moved off dead workers to survivors
+	// (this daemon acting as a coordinator); workersLost counts the
+	// worker deaths that caused them.
+	redispatched atomic.Int64
+	workersLost  atomic.Int64
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	st := s.cfg.Store.Stats()
 	out := map[string]any{
-		"whirld.jobs.submitted": s.metrics.jobsSubmitted.Load(),
-		"whirld.jobs.done":      s.metrics.jobsDone.Load(),
-		"whirld.jobs.failed":    s.metrics.jobsFailed.Load(),
-		"whirld.jobs.canceled":  s.metrics.jobsCanceled.Load(),
-		"whirld.rows.served":    s.metrics.rowsServed.Load(),
-		"whirld.rows.computed":  s.metrics.rowsComputed.Load(),
-		"store.hits":            st.Hits,
-		"store.misses":          st.Misses,
-		"store.puts":            st.Puts,
-		"store.corrupt_rows":    st.CorruptRows,
-		"store.index_rebuilds":  st.IndexRebuilds,
-		"store.records":         st.Records,
-		"goroutines":            runtime.NumGoroutine(),
+		"whirld.jobs.submitted":        s.metrics.jobsSubmitted.Load(),
+		"whirld.jobs.done":             s.metrics.jobsDone.Load(),
+		"whirld.jobs.failed":           s.metrics.jobsFailed.Load(),
+		"whirld.jobs.canceled":         s.metrics.jobsCanceled.Load(),
+		"whirld.rows.served":           s.metrics.rowsServed.Load(),
+		"whirld.rows.computed":         s.metrics.rowsComputed.Load(),
+		"whirld.rows.marshal_errors":   s.metrics.rowMarshalErrs.Load(),
+		"whirld.jobs.shards":           s.metrics.shardJobs.Load(),
+		"whirld.dispatch.redispatched": s.metrics.redispatched.Load(),
+		"whirld.dispatch.workers_lost": s.metrics.workersLost.Load(),
+		"store.hits":                   st.Hits,
+		"store.misses":                 st.Misses,
+		"store.puts":                   st.Puts,
+		"store.corrupt_rows":           st.CorruptRows,
+		"store.index_rebuilds":         st.IndexRebuilds,
+		"store.records":                st.Records,
+		"goroutines":                   runtime.NumGoroutine(),
 	}
 	if ms := expvar.Get("memstats"); ms != nil {
 		out["memstats"] = json.RawMessage(ms.String())

@@ -8,6 +8,7 @@
 // Endpoints (see docs/server.md for the reference + curl examples):
 //
 //	POST   /v1/sweeps           submit a sweep (spec + grid) as a job
+//	POST   /v1/cells            run an explicit cell list (worker shard)
 //	GET    /v1/jobs             list jobs in submission order
 //	GET    /v1/jobs/{id}        job status + cell-resolution counters
 //	GET    /v1/jobs/{id}/stream SSE: completed rows as they finish
@@ -24,9 +25,11 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
+	"whirlpool/internal/dispatch"
 	"whirlpool/internal/experiments"
 	"whirlpool/internal/results"
 	"whirlpool/internal/schemes"
@@ -45,6 +48,13 @@ type Config struct {
 	// Workers bounds each job's sweep parallelism; <= 0 means
 	// GOMAXPROCS.
 	Workers int
+	// WorkerURLs, when non-empty, puts the daemon in coordinator mode:
+	// a job's unserved cells are sharded by content-address across
+	// these worker whirld daemons (internal/dispatch) instead of being
+	// simulated locally, and every returned row is committed to this
+	// daemon's store. Shard jobs (POST /v1/cells) always run locally,
+	// so a coordinator is never part of its own fleet.
+	WorkerURLs []string
 	// JobWorkers bounds how many jobs run concurrently; <= 0 means 1
 	// (FIFO jobs, each fanning cells across Workers — the right
 	// throughput model for CPU-bound simulation).
@@ -140,6 +150,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/cells", s.handleCells)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
@@ -254,6 +265,7 @@ func (s *Server) runJob(j *job) {
 		Apps:     j.apps,
 		Mixes:    j.mixes,
 		Kinds:    j.kinds,
+		Cells:    j.cells,
 		Workers:  s.cfg.Workers,
 		NoBypass: j.req.NoBypass,
 		Context:  ctx,
@@ -261,7 +273,42 @@ func (s *Server) runJob(j *job) {
 		Stats:    &stats,
 		OnRow:    func(done, total int, row experiments.SweepRow) { j.addRow(done, total, row) },
 	}
+	// Coordinator mode: shard this grid across the worker fleet instead
+	// of simulating here. Shard jobs (j.cells) always run locally —
+	// that is the recursion anchor.
+	var pool *dispatch.Pool
+	if len(s.cfg.WorkerURLs) > 0 && j.cells == nil {
+		var perr error
+		pool, perr = dispatch.New(s.cfg.WorkerURLs, dispatch.Options{})
+		if perr != nil {
+			s.metrics.jobsFailed.Add(1)
+			j.finish(nil, experiments.SweepStats{}, "failed", perr.Error())
+			return
+		}
+		forward, ferr := forwardSpec(j)
+		if ferr != nil {
+			s.metrics.jobsFailed.Add(1)
+			j.finish(nil, experiments.SweepStats{}, "failed", ferr.Error())
+			return
+		}
+		cfg.Remote = pool.Exec(dispatch.JobParams{
+			Spec:     forward,
+			Scale:    j.req.Scale,
+			Seed:     j.req.Seed,
+			Reconfig: j.req.Reconfig,
+			NoBypass: j.req.NoBypass,
+		})
+	}
 	rows, err := h.Sweep(cfg)
+	if pool != nil {
+		stats.Workers = pool.Stats()
+		for _, ws := range stats.Workers {
+			s.metrics.redispatched.Add(int64(ws.Redispatched))
+			if ws.Dead {
+				s.metrics.workersLost.Add(1)
+			}
+		}
+	}
 	s.metrics.rowsServed.Add(int64(stats.Served))
 	s.metrics.rowsComputed.Add(int64(stats.Computed))
 	switch {
@@ -279,6 +326,61 @@ func (s *Server) runJob(j *job) {
 		}
 		j.finish(rows, stats, state, msg)
 	}
+}
+
+// forwardSpec builds the workload spec a coordinator ships with every
+// shard. The job's own inline spec is not enough: the grid may name
+// apps that live only in this process's registry (registered by
+// earlier jobs' specs — e.g. apps:["all"] on a long-lived daemon),
+// which a worker could not resolve. So the forwarded spec defines
+// every app the grid touches, round-tripped from the registry the
+// coordinator itself keyed the cells against, plus the job spec's mix
+// definitions. Called after the job's spec is registered.
+func forwardSpec(j *job) (json.RawMessage, error) {
+	var names []string
+	seen := map[string]bool{}
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, a := range j.apps {
+		add(a)
+	}
+	for _, m := range j.mixes {
+		for _, a := range m.Apps {
+			add(a)
+		}
+	}
+	appSpecs := make([]workloads.AppSpec, 0, len(names))
+	for _, n := range names {
+		sp, ok := workloads.ByName(n)
+		if !ok {
+			return nil, fmt.Errorf("app %q vanished from the registry before dispatch", n)
+		}
+		appSpecs = append(appSpecs, sp)
+	}
+	f := spec.FromAppSpecs("dispatch", appSpecs)
+	// Only the mixes this job sweeps: an unswept spec mix may reference
+	// spec-only apps that are not in the forwarded app list, and the
+	// worker's spec validation would reject the whole file over them.
+	if j.specFile != nil && len(j.mixes) > 0 {
+		want := make(map[string]bool, len(j.mixes))
+		for _, m := range j.mixes {
+			want[m.Name] = true
+		}
+		for _, m := range j.specFile.Mixes {
+			if want[m.Name] {
+				f.Mixes = append(f.Mixes, m)
+			}
+		}
+	}
+	data, err := spec.Encode(f)
+	if err != nil {
+		return nil, fmt.Errorf("encoding the forwarded spec: %v", err)
+	}
+	return data, nil
 }
 
 // --- request handling ---
@@ -313,28 +415,61 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	s.enqueue(w, j)
+}
 
-	// Register and enqueue under one lock: Close flips draining before
-	// closing the queue (also under the lock), so no send can hit a
-	// closed channel, and a full-queue rejection never has to unwind
-	// shared state.
+// handleCells runs an explicit cell list — one shard of a distributed
+// sweep — as a regular job (same queue, SSE stream, and store commit
+// path as /v1/sweeps). The coordinator's dispatch layer is the intended
+// caller, but the endpoint is plain HTTP: anything that can name cells
+// can use it.
+func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	var req dispatch.CellsRequest
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	j, err := s.buildCellsJob(&req)
+	if err != nil {
+		httpErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.enqueue(w, j) {
+		s.metrics.shardJobs.Add(1)
+	}
+}
+
+// enqueue admits a built job onto the runner queue and answers the
+// submit request, reporting whether the job was accepted. Registering
+// and enqueueing happen under one lock: Close flips draining before
+// closing the queue (also under the lock), so no send can hit a closed
+// channel, and a full-queue rejection never has to unwind shared
+// state. Job IDs are allocated only for accepted jobs — a rejected
+// submit must not burn a sequence number.
+func (s *Server) enqueue(w http.ResponseWriter, j *job) bool {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		httpErr(w, http.StatusServiceUnavailable, "daemon is shutting down")
-		return
+		return false
 	}
-	s.seq++
-	j.id = fmt.Sprintf("j%d", s.seq)
+	// The id must be set before the job is visible to a runner (status
+	// reads j.id without further synchronization), so name it before
+	// the send and advance seq only once the queue accepts.
+	j.id = fmt.Sprintf("j%d", s.seq+1)
 	select {
 	case s.queue <- j:
+		s.seq++
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
 	default:
 		s.mu.Unlock()
 		httpErr(w, http.StatusServiceUnavailable, "job queue is full (%d pending)", s.cfg.QueueDepth)
-		return
+		return false
 	}
-	s.jobs[j.id] = j
-	s.order = append(s.order, j.id)
 	s.mu.Unlock()
 	s.metrics.jobsSubmitted.Add(1)
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -345,6 +480,76 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		"stream": "/v1/jobs/" + j.id + "/stream",
 		"rows":   "/v1/jobs/" + j.id + "/rows",
 	})
+	return true
+}
+
+// buildCellsJob resolves a shard request: the inline spec is parsed
+// (registered at run time, like /v1/sweeps) and every cell must name a
+// resolvable app or a mix the spec defines.
+func (s *Server) buildCellsJob(req *dispatch.CellsRequest) (*job, error) {
+	j := &job{
+		req: SweepRequest{
+			Spec: req.Spec, Scale: req.Scale, Seed: req.Seed,
+			Reconfig: req.Reconfig, NoBypass: req.NoBypass,
+		},
+		state: "queued", created: time.Now(), changed: make(chan struct{}),
+	}
+	j.scale = req.Scale
+	if j.scale == 0 {
+		j.scale = 1
+	}
+	if j.scale < 0 {
+		return nil, fmt.Errorf("scale must be >= 0, got %g", j.scale)
+	}
+	inSpec := map[string]bool{}
+	mixes := map[string]bool{}
+	if len(req.Spec) > 0 {
+		f, err := spec.Parse(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		j.specFile = f
+		for _, a := range f.Apps {
+			inSpec[a.Name] = true
+		}
+		for _, m := range f.Mixes {
+			mixes[m.Name] = true
+			j.mixes = append(j.mixes, experiments.SweepMix{
+				Name: m.Name, Apps: m.Apps, Pins: m.Pins, Chip: m.BuildChip(),
+			})
+		}
+	}
+	if len(req.Cells) == 0 {
+		return nil, fmt.Errorf("cells request has no cells")
+	}
+	seen := map[string]bool{}
+	for _, c := range req.Cells {
+		switch {
+		case c.App != "" && c.Mix != "":
+			return nil, fmt.Errorf("cell names both app %q and mix %q", c.App, c.Mix)
+		case c.App != "":
+			if _, ok := workloads.ByName(c.App); !ok && !inSpec[c.App] {
+				return nil, fmt.Errorf("unknown app %q", c.App)
+			}
+		case c.Mix != "":
+			if !mixes[c.Mix] {
+				return nil, fmt.Errorf("mix %q not defined in the spec", c.Mix)
+			}
+		default:
+			return nil, fmt.Errorf("cell names neither an app nor a mix")
+		}
+		if _, err := schemes.ParseKind(c.Scheme); err != nil {
+			return nil, err
+		}
+		ident := c.App + "|" + c.Mix + "|" + c.Scheme
+		if seen[ident] {
+			return nil, fmt.Errorf("duplicate cell %s/%s", c.App+c.Mix, c.Scheme)
+		}
+		seen[ident] = true
+	}
+	j.cells = req.Cells
+	j.total = len(req.Cells)
+	return j, nil
 }
 
 // buildJob resolves a request into a runnable job: registers the
@@ -399,6 +604,15 @@ func (s *Server) buildJob(req *SweepRequest) (*job, error) {
 	case len(req.Apps) == 1 && req.Apps[0] == "all":
 		j.apps = allApps()
 	case len(req.Apps) > 0:
+		// Exact duplicates would silently sweep (and double-commit) the
+		// same cells; reject them instead of deduping quietly.
+		seen := make(map[string]bool, len(req.Apps))
+		for _, a := range req.Apps {
+			if seen[a] {
+				return nil, fmt.Errorf("duplicate app %q in request", a)
+			}
+			seen[a] = true
+		}
 		j.apps = req.Apps
 	case len(req.Mixes) > 0:
 		// Mixes only.
@@ -441,11 +655,20 @@ func (s *Server) buildJob(req *SweepRequest) (*job, error) {
 	}
 
 	if len(req.Schemes) > 0 && !(len(req.Schemes) == 1 && req.Schemes[0] == "all") {
+		seen := make(map[string]bool, len(req.Schemes))
 		for _, name := range req.Schemes {
 			k, err := schemes.ParseKind(name)
 			if err != nil {
 				return nil, err
 			}
+			// Like duplicate apps: a repeated scheme would cross into
+			// identical cells — double-simulated and double-committed
+			// locally, and poison for a coordinator (every worker would
+			// reject the duplicated shard).
+			if seen[k.ID()] {
+				return nil, fmt.Errorf("duplicate scheme %q in request", name)
+			}
+			seen[k.ID()] = true
 			j.kinds = append(j.kinds, k)
 		}
 	}
@@ -528,7 +751,21 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		for i, row := range rows {
 			data, err := json.Marshal(row)
 			if err != nil {
-				continue
+				// Never swallow a row: an unmarshalable cell (e.g. a NaN
+				// that slipped past the engine's guards) surfaces as an
+				// error row so subscribers keep an accurate cell count,
+				// and the counter makes the corruption observable —
+				// once per corrupt row, not per subscriber replay.
+				if j.countMarshalErrOnce(cursor + i) {
+					s.metrics.rowMarshalErrs.Add(1)
+				}
+				errRow := experiments.SweepRow{
+					App: row.App, Scheme: row.Scheme, Mix: row.Mix, Key: row.Key,
+					Err: fmt.Sprintf("row not representable as JSON: %v", err),
+				}
+				if data, err = json.Marshal(errRow); err != nil {
+					continue // unreachable: error rows marshal
+				}
 			}
 			fmt.Fprintf(w, "id: %d\nevent: row\ndata: %s\n\n", cursor+i+1, data)
 		}
@@ -583,10 +820,13 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		Key:    r.URL.Query().Get("key"),
 	}
 	if lim := r.URL.Query().Get("limit"); lim != "" {
-		if _, err := fmt.Sscanf(lim, "%d", &q.Limit); err != nil || q.Limit < 0 {
-			httpErr(w, http.StatusBadRequest, "bad limit %q", lim)
+		// strconv.Atoi, not Sscanf: "10abc" must be a 400, not a 10.
+		n, err := strconv.Atoi(lim)
+		if err != nil || n < 0 {
+			httpErr(w, http.StatusBadRequest, "bad limit %q (want a non-negative integer)", lim)
 			return
 		}
+		q.Limit = n
 	}
 	recs := s.cfg.Store.Query(q)
 	if recs == nil {

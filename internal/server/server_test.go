@@ -4,8 +4,12 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -14,6 +18,7 @@ import (
 	"whirlpool/internal/experiments"
 	"whirlpool/internal/results"
 	"whirlpool/internal/schemes"
+	"whirlpool/internal/trace"
 	"whirlpool/internal/workloads"
 )
 
@@ -379,6 +384,326 @@ func TestCloseDrains(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("submit after Close: %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestZeroCycleRowRoundTrip: a zero-cycle cell (empty recorded trace)
+// must round-trip through the SSE stream and /rows?format=json without
+// dropped or malformed rows — the IPC 0/0 NaN would previously make
+// json.Marshal fail and the stream silently skip the row.
+func TestZeroCycleRowRoundTrip(t *testing.T) {
+	t.Cleanup(workloads.SnapshotRegistry())
+	_, ts, _ := newTestServer(t)
+	p := filepath.Join(t.TempDir(), "empty.wtrc")
+	if err := trace.WriteFile(p, &trace.LLCTrace{}); err != nil {
+		t.Fatal(err)
+	}
+	req := fmt.Sprintf(`{"spec":{"apps":[{"name":"zc_srv","source":"trace","trace":%q}]},"apps":["zc_srv"],"schemes":["jigsaw"]}`, p)
+	id, _ := postSweep(t, ts, req)["id"].(string)
+	st := awaitJob(t, ts, id)
+	if st["state"] != "done" || st["cell_errors"] != float64(0) {
+		t.Fatalf("zero-cycle job = %v", st)
+	}
+
+	// The SSE stream must carry the row, parseable, not dropped.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rowEvents int
+	var row experiments.SweepRow
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "row":
+			rowEvents++
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &row); err != nil {
+				t.Fatalf("zero-cycle row event unparsable: %v", err)
+			}
+		}
+		if event == "done" {
+			break
+		}
+	}
+	if rowEvents != 1 {
+		t.Fatalf("stream delivered %d row events, want 1 (zero-cycle row dropped?)", rowEvents)
+	}
+	if row.Cycles != 0 || row.IPC != 0 || row.Err != "" {
+		t.Fatalf("zero-cycle row = %+v", row)
+	}
+
+	// And /rows?format=json must be valid JSON holding the row.
+	var rows []experiments.SweepRow
+	if code := getJSON(t, ts.URL+"/v1/jobs/"+id+"/rows?format=json", &rows); code != http.StatusOK {
+		t.Fatalf("rows: %d", code)
+	}
+	if len(rows) != 1 || rows[0].Cycles != 0 || rows[0].IPC != 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+}
+
+// TestStreamSurfacesMarshalFailures: a row that cannot be marshaled
+// (NaN smuggled into a float) becomes an error row event plus a metrics
+// counter — never a silently shortened stream.
+func TestStreamSurfacesMarshalFailures(t *testing.T) {
+	srv, ts, _ := newTestServer(t)
+	j := &job{id: "jx", req: SweepRequest{}, total: 1, created: time.Now(), changed: make(chan struct{})}
+	j.state = "done"
+	j.completed = []experiments.SweepRow{{App: "bad", Scheme: "jigsaw", IPC: math.NaN()}}
+	j.result = j.completed
+	srv.mu.Lock()
+	srv.jobs[j.id] = j
+	srv.order = append(srv.order, j.id)
+	srv.mu.Unlock()
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/jx/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var events, errRows int
+	sc := bufio.NewScanner(resp.Body)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "row":
+			events++
+			var row experiments.SweepRow
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &row); err != nil {
+				t.Fatalf("surfaced row unparsable: %v", err)
+			}
+			if row.App == "bad" && strings.Contains(row.Err, "not representable") {
+				errRows++
+			}
+		}
+		if event == "done" {
+			break
+		}
+	}
+	if events != 1 || errRows != 1 {
+		t.Fatalf("stream delivered %d events (%d marshal-error rows), want 1/1", events, errRows)
+	}
+	if got := srv.metrics.rowMarshalErrs.Load(); got != 1 {
+		t.Fatalf("rows.marshal_errors = %d, want 1", got)
+	}
+
+	// A second subscriber replays the same corrupt row; the counter
+	// tracks corrupt rows, not stream attachments.
+	resp2, err := http.Get(ts.URL + "/v1/jobs/jx/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64*1024)
+	n, _ := resp2.Body.Read(buf)
+	resp2.Body.Close()
+	if !strings.Contains(string(buf[:n]), "not representable") {
+		t.Fatalf("replay lost the surfaced error row: %.200s", buf[:n])
+	}
+	if got := srv.metrics.rowMarshalErrs.Load(); got != 1 {
+		t.Fatalf("rows.marshal_errors = %d after a replay, want still 1", got)
+	}
+}
+
+// TestResultsLimitValidation: ?limit= must be a clean non-negative
+// integer — Sscanf used to accept "10abc" as 10.
+func TestResultsLimitValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	id, _ := postSweep(t, ts, `{"apps":["delaunay","MIS"],"schemes":["jigsaw"],"scale":0.02}`)["id"].(string)
+	awaitJob(t, ts, id)
+
+	for _, lim := range []string{"10abc", "abc", "-1", "1.5", "0x10", " 1"} {
+		resp, err := http.Get(ts.URL + "/v1/results?limit=" + url.QueryEscape(lim))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("limit=%q: status %d, want 400", lim, resp.StatusCode)
+		}
+	}
+	var recs []results.Record
+	if code := getJSON(t, ts.URL+"/v1/results?limit=1", &recs); code != http.StatusOK || len(recs) != 1 {
+		t.Fatalf("limit=1: code %d, %d records", code, len(recs))
+	}
+	if code := getJSON(t, ts.URL+"/v1/results?limit=0", &recs); code != http.StatusOK || len(recs) != 2 {
+		t.Fatalf("limit=0 (unlimited): code %d, %d records", code, len(recs))
+	}
+}
+
+// TestCanceledJobDoneReachesTotal: canceled cells flow through the
+// progress path, so a canceled job's done counter reaches total and SSE
+// subscribers see every cell (canceled ones included) before done.
+func TestCanceledJobDoneReachesTotal(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	id, _ := postSweep(t, ts, `{"apps":["all"],"scale":0.05}`)["id"].(string)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	st := awaitJob(t, ts, id)
+	if st["state"] != "canceled" {
+		t.Fatalf("state = %v", st)
+	}
+	if st["done"] != st["total"] {
+		t.Fatalf("canceled job frozen at done=%v of total=%v", st["done"], st["total"])
+	}
+	if st["cells_canceled"] == nil || st["cells_canceled"].(float64) == 0 {
+		t.Fatalf("no canceled cells recorded: %v", st)
+	}
+
+	// The replayed stream carries the canceled rows, then done.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var rowEvents, canceledRows int
+	sc := bufio.NewScanner(sresp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	event := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: ") && event == "row":
+			rowEvents++
+			if strings.Contains(line, `"canceled"`) {
+				canceledRows++
+			}
+		}
+		if event == "done" {
+			break
+		}
+	}
+	if rowEvents != int(st["total"].(float64)) {
+		t.Fatalf("stream replayed %d rows of %v total", rowEvents, st["total"])
+	}
+	if canceledRows == 0 {
+		t.Fatal("no canceled rows in the stream")
+	}
+}
+
+// TestDuplicateAppsRejected: duplicate names in apps would silently
+// sweep (and double-commit) duplicate cells; they are 400s now.
+func TestDuplicateAppsRejected(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"apps":["delaunay","MIS","delaunay"],"schemes":["jigsaw"],"scale":0.02}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate apps: status %d (%v), want 400", resp.StatusCode, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "duplicate app") {
+		t.Fatalf("error = %q", body["error"])
+	}
+
+	// Duplicate schemes cross into identical cells the same way.
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json",
+		strings.NewReader(`{"apps":["delaunay"],"schemes":["jigsaw","jigsaw"],"scale":0.02}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = nil
+	json.NewDecoder(resp.Body).Decode(&body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("duplicate schemes: status %d (%v), want 400", resp.StatusCode, body)
+	}
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "duplicate scheme") {
+		t.Fatalf("error = %q", body["error"])
+	}
+}
+
+// TestQueueFullDoesNotBurnIDs: a 503 on a full queue must not consume a
+// job id — the next accepted job gets the next sequential id.
+func TestQueueFullDoesNotBurnIDs(t *testing.T) {
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv, err := New(Config{Store: store, Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// j1 occupies the runner; wait until it actually runs so the queue
+	// slot is free for j2.
+	id1, _ := postSweep(t, ts, `{"apps":["all"],"scale":0.05}`)["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st map[string]any
+		getJSON(t, ts.URL+"/v1/jobs/"+id1, &st)
+		if st["state"] == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started: %v", id1, st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	id2, _ := postSweep(t, ts, smallSweep)["id"].(string)
+	if id1 != "j1" || id2 != "j2" {
+		t.Fatalf("ids = %s, %s", id1, id2)
+	}
+	// The queue (depth 1) is now full: this submit must 503.
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(smallSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("full queue: status %d, want 503", resp.StatusCode)
+	}
+
+	// Unblock the runner and resubmit until accepted: the id must be j3
+	// — a burned sequence number would make it j4.
+	for _, id := range []string{id1, id2} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	awaitJob(t, ts, id1)
+	awaitJob(t, ts, id2)
+	var id3 string
+	for time.Now().Before(deadline) {
+		resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(smallSweep))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out map[string]any
+		json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted {
+			id3, _ = out["id"].(string)
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if id3 != "j3" {
+		t.Fatalf("post-503 submit got id %q, want j3 (rejections must not burn ids)", id3)
 	}
 }
 
