@@ -9,7 +9,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X whirlpool/internal/cliutil.buildVersion=$(VERSION)"
 
-.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke serve-smoke dist-smoke ci
+.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke serve-smoke dist-smoke load-smoke ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -128,4 +128,12 @@ serve-smoke:
 dist-smoke:
 	GO="$(GO)" sh scripts/dist-smoke.sh
 
-ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke
+# Serving-SLO smoke: whirltool load drives a warm whirld with a mixed
+# traffic spec (throughput floors + p99 SLOs fail the run when
+# breached), then overdrives /v1/results past its concurrency limit and
+# asserts it sheds 429 + Retry-After while other endpoints keep
+# serving. See scripts/load-smoke.sh.
+load-smoke:
+	GO="$(GO)" sh scripts/load-smoke.sh
+
+ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke load-smoke

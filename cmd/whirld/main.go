@@ -47,6 +47,26 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
+// parseInflight decodes the -inflight flag ("results=64,sweeps=8") into
+// server.Config.EndpointLimits. Unknown endpoint names are rejected by
+// server.New, so typos fail at startup, not silently at serve time.
+func parseInflight(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	limits := map[string]int{}
+	for _, pair := range cliutil.SplitList(s) {
+		name, val, ok := strings.Cut(pair, "=")
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if !ok || strings.TrimSpace(name) == "" || err != nil {
+			return nil, fmt.Errorf("-inflight: %q is not name=N (e.g. results=64; valid names: %s)",
+				pair, strings.Join(server.EndpointNames(), ", "))
+		}
+		limits[strings.TrimSpace(name)] = n
+	}
+	return limits, nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
 	storeFlag := flag.String("store", "auto", cliutil.StoreUsage)
@@ -54,6 +74,7 @@ func main() {
 	workersFlag := flag.String("workers", "", "coordinator mode: comma-separated worker whirld base URLs (http://host:port) to shard sweeps across; a plain integer is accepted as -parallel, the flag's pre-distributed meaning")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "parallel simulation workers per job")
 	queue := flag.Int("queue", 64, "max queued jobs before submits get 503")
+	inflight := flag.String("inflight", "", "per-endpoint concurrency limits as name=N pairs (e.g. results=64,sweeps=8); N<0 lifts an endpoint's default limit; endpoints: sweeps, cells, jobs, stream, rows, results, healthz, metrics")
 	version := cliutil.VersionFlag()
 	flag.Parse()
 	cliutil.HandleVersion("whirld", *version)
@@ -86,6 +107,11 @@ func main() {
 		}
 	}
 
+	limits, err := parseInflight(*inflight)
+	if err != nil {
+		fatal(err)
+	}
+
 	storeDir, err := cliutil.ResolveStoreDir(*storeFlag)
 	if err != nil {
 		fatal(err)
@@ -103,12 +129,13 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Store:         store,
-		TraceCacheDir: cacheDir,
-		Workers:       *parallel,
-		WorkerURLs:    workerURLs,
-		QueueDepth:    *queue,
-		Version:       cliutil.Version(),
+		Store:          store,
+		TraceCacheDir:  cacheDir,
+		Workers:        *parallel,
+		WorkerURLs:     workerURLs,
+		QueueDepth:     *queue,
+		EndpointLimits: limits,
+		Version:        cliutil.Version(),
 	})
 	if err != nil {
 		fatal(err)
@@ -126,6 +153,9 @@ func main() {
 	if len(workerURLs) > 0 {
 		fmt.Fprintf(os.Stderr, "whirld: coordinator over %d workers: %s\n",
 			len(workerURLs), strings.Join(workerURLs, ", "))
+	}
+	if *inflight != "" {
+		fmt.Fprintf(os.Stderr, "whirld: endpoint concurrency limits: %s\n", *inflight)
 	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}

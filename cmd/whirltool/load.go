@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"whirlpool/internal/apiclient"
+	"whirlpool/internal/traffic"
+)
+
+// loadCmd is whirlload: drive a whirld daemon with a declarative
+// traffic spec and judge the measured latencies against per-class SLOs.
+//
+//	whirltool load -spec traffic.json -base http://localhost:8080
+//
+// The process exits 1 when any class breaches its SLO or throughput
+// floor (disable with -check=false), so the command slots directly into
+// CI gates like scripts/load-smoke.sh.
+func loadCmd(args []string) {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	specPath := fs.String("spec", "", "traffic spec file (required; see docs/server.md)")
+	base := fs.String("base", "http://localhost:8080", "whirld base URL")
+	duration := fs.Duration("duration", 0, "run length override (0 = the spec's duration_s)")
+	seed := fs.Uint64("seed", 0, "arrival-schedule seed override (0 = the spec's seed)")
+	format := fs.String("format", "table", "report format: table or json")
+	check := fs.Bool("check", true, "exit 1 when a class breaches its SLO or rps floor")
+	fs.Parse(args)
+
+	if *specPath == "" {
+		fatal(fmt.Errorf("load: -spec is required"))
+	}
+	if *format != "table" && *format != "json" {
+		fatal(fmt.Errorf("load: unknown -format %q (valid: table, json)", *format))
+	}
+	spec, err := traffic.Load(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	api, err := apiclient.New(*base, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := traffic.Run(ctx, api, spec, traffic.Options{
+		Duration: *duration,
+		Seed:     *seed,
+		Logf: func(f string, a ...any) {
+			fmt.Fprintf(os.Stderr, "whirltool: "+f+"\n", a...)
+		},
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *format {
+	case "json":
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	default:
+		rep.WriteTable(os.Stdout)
+	}
+
+	if cerr := rep.Check(); cerr != nil {
+		fmt.Fprintln(os.Stderr, "whirltool:", cerr)
+		if *check {
+			os.Exit(1)
+		}
+	}
+}

@@ -9,6 +9,7 @@
 //	whirltool trace record -app delaunay -o dt.wtrc
 //	whirltool trace info dt.wtrc
 //	whirltool trace cat dt.wtrc | head
+//	whirltool load -spec traffic.json -base http://localhost:8080
 //	go test -bench . -benchmem ./... | whirltool benchjson > BENCH_trace.json
 //
 // Recorded traces replay through every scheme, sweep, and figure via a
@@ -44,6 +45,9 @@ func main() {
 			return
 		case "benchjson":
 			benchJSONCmd(os.Args[2:])
+			return
+		case "load":
+			loadCmd(os.Args[2:])
 			return
 		}
 	}

@@ -6,7 +6,11 @@
 //
 // The wire protocol is the worker daemon's POST /v1/cells endpoint (a
 // CellsRequest: shared sweep parameters plus one shard's explicit cell
-// list) followed by the standard GET /v1/jobs/{id}/stream SSE feed.
+// list) followed by the standard GET /v1/jobs/{id}/stream SSE feed,
+// spoken through internal/apiclient — worker failures arrive as typed
+// apiclient.Error values, so a deterministic 400 rejection, retryable
+// 429/503 back-pressure (with its Retry-After hint), and transport
+// death are distinguished by type, not by string matching.
 // Rows route back into the coordinator's grid by the cell key each row
 // carries (falling back to the app/mix × scheme identity when a key is
 // absent); the coordinator — not the worker — owns the grid, the
@@ -15,19 +19,19 @@
 package dispatch
 
 import (
-	"bufio"
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"whirlpool/internal/apiclient"
 	"whirlpool/internal/experiments"
 )
 
@@ -83,6 +87,7 @@ type Pool struct {
 
 type workerState struct {
 	url  string
+	api  *apiclient.Client
 	dead bool
 
 	served, computed, errors, redispatched int
@@ -112,12 +117,18 @@ func New(urls []string, opt Options) (*Pool, error) {
 	}
 	seen := map[string]bool{}
 	for _, u := range urls {
-		u = strings.TrimRight(strings.TrimSpace(u), "/")
-		if u == "" || seen[u] {
+		if strings.TrimSpace(u) == "" {
 			continue
 		}
-		seen[u] = true
-		p.workers = append(p.workers, &workerState{url: u})
+		api, err := apiclient.New(u, p.client)
+		if err != nil {
+			return nil, fmt.Errorf("dispatch: worker %q: %v", u, err)
+		}
+		if seen[api.Base()] {
+			continue
+		}
+		seen[api.Base()] = true
+		p.workers = append(p.workers, &workerState{url: api.Base(), api: api})
 	}
 	if len(p.workers) == 0 {
 		return nil, fmt.Errorf("dispatch: no worker URLs")
@@ -321,86 +332,71 @@ func (p *Pool) runShard(ctx context.Context, w *workerState, params JobParams, s
 		}
 	}()
 
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.url+"/v1/jobs/"+id+"/stream", nil)
-	if err != nil {
-		return shard, err
-	}
-	resp, err := p.client.Do(httpReq)
+	stream, err := w.api.Stream(ctx, "/v1/jobs/"+id+"/stream")
 	if err != nil {
 		return shard, fmt.Errorf("stream: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return shard, fmt.Errorf("stream: HTTP %d", resp.StatusCode)
-	}
+	defer stream.Close()
 
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
-	event := ""
 	doneState := ""
 	deliveredN := 0
-	for sc.Scan() {
-		line := sc.Text()
-		switch {
-		case strings.HasPrefix(line, "event: "):
-			event = strings.TrimPrefix(line, "event: ")
-		case strings.HasPrefix(line, "data: "):
-			data := strings.TrimPrefix(line, "data: ")
-			switch event {
-			case "row":
-				var row experiments.SweepRow
-				if json.Unmarshal([]byte(data), &row) != nil {
-					continue
-				}
-				if row.Err == "canceled" {
-					continue // worker shutting down: the cell re-dispatches
-				}
-				ref, ok, keyMismatch := take(row)
-				if !ok {
-					continue
-				}
-				if keyMismatch {
-					row = errorRowFor(ref, fmt.Sprintf(
-						"key mismatch: worker %s computed %s for a cell addressed %s — differing inputs (stale trace file?); row rejected",
-						w.url, row.Key, ref.Key))
-				}
-				if row.Err != "" {
-					p.mu.Lock()
-					w.errors++
-					p.mu.Unlock()
-				}
-				deliveredN++
-				deliver(ref, row)
-			case "done":
-				var st struct {
-					State    string `json:"state"`
-					Served   int    `json:"served"`
-					Computed int    `json:"computed"`
-				}
-				if json.Unmarshal([]byte(data), &st) == nil {
-					doneState = st.State
-					p.mu.Lock()
-					w.served += st.Served
-					w.computed += st.Computed
-					p.mu.Unlock()
-				}
+	for doneState == "" {
+		ev, nextErr := stream.Next()
+		if nextErr != nil {
+			// The stream died (or ended cleanly — io.EOF) before the
+			// worker's authoritative done-event split; attribute what it
+			// demonstrably delivered as computed so the per-worker stats
+			// still roughly sum to the grid.
+			p.mu.Lock()
+			w.computed += deliveredN
+			p.mu.Unlock()
+			if ctx.Err() != nil {
+				return leftover(), nil
+			}
+			if nextErr == io.EOF {
+				nextErr = nil
+			}
+			return leftover(), fmt.Errorf("stream ended without done event (%v)", nextErr)
+		}
+		switch ev.Name {
+		case "row":
+			var row experiments.SweepRow
+			if json.Unmarshal(ev.Data, &row) != nil {
+				continue
+			}
+			if row.Err == "canceled" {
+				continue // worker shutting down: the cell re-dispatches
+			}
+			ref, ok, keyMismatch := take(row)
+			if !ok {
+				continue
+			}
+			if keyMismatch {
+				row = errorRowFor(ref, fmt.Sprintf(
+					"key mismatch: worker %s computed %s for a cell addressed %s — differing inputs (stale trace file?); row rejected",
+					w.url, row.Key, ref.Key))
+			}
+			if row.Err != "" {
+				p.mu.Lock()
+				w.errors++
+				p.mu.Unlock()
+			}
+			deliveredN++
+			deliver(ref, row)
+		case "done":
+			var st struct {
+				State    string `json:"state"`
+				Served   int    `json:"served"`
+				Computed int    `json:"computed"`
+			}
+			if json.Unmarshal(ev.Data, &st) == nil {
+				doneState = st.State
+				p.mu.Lock()
+				w.served += st.Served
+				w.computed += st.Computed
+				p.mu.Unlock()
 			}
 		}
-		if doneState != "" {
-			break
-		}
-	}
-	if scanErr := sc.Err(); doneState == "" {
-		// The stream died before the worker's authoritative done-event
-		// split; attribute what it demonstrably delivered as computed so
-		// the per-worker stats still roughly sum to the grid.
-		p.mu.Lock()
-		w.computed += deliveredN
-		p.mu.Unlock()
-		if ctx.Err() != nil {
-			return leftover(), nil
-		}
-		return leftover(), fmt.Errorf("stream ended without done event (%v)", scanErr)
 	}
 	if doneState != "done" {
 		return leftover(), fmt.Errorf("worker job finished %s", doneState)
@@ -420,59 +416,54 @@ const (
 	submitBackoff = 200 * time.Millisecond
 )
 
-// submitCells POSTs one shard and returns the worker's job id. A 503
-// is back-pressure (full job queue), not death: it is retried with
-// backoff so a briefly saturated worker keeps its shard.
+// submitCells POSTs one shard and returns the worker's job id. Typed
+// back-pressure (apiclient.Error.Temporary: a 429 shed or a 503
+// queue-full/drain) is retried with backoff — honoring the server's
+// Retry-After hint when it gives one — so a briefly saturated worker
+// keeps its shard.
 func (p *Pool) submitCells(ctx context.Context, w *workerState, req *CellsRequest) (string, error) {
 	for attempt := 0; ; attempt++ {
-		id, retryable, err := p.trySubmitCells(ctx, w, req)
+		id, retryAfter, retryable, err := p.trySubmitCells(ctx, w, req)
 		if err == nil {
 			return id, nil
 		}
 		if !retryable || attempt >= submitRetries {
 			return "", err
 		}
+		delay := submitBackoff * time.Duration(attempt+1)
+		if retryAfter > 0 {
+			delay = retryAfter
+		}
 		select {
 		case <-ctx.Done():
 			return "", ctx.Err()
-		case <-time.After(submitBackoff * time.Duration(attempt+1)):
+		case <-time.After(delay):
 		}
 	}
 }
 
-func (p *Pool) trySubmitCells(ctx context.Context, w *workerState, req *CellsRequest) (id string, retryable bool, err error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return "", false, err
-	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/v1/cells", bytes.NewReader(body))
-	if err != nil {
-		return "", false, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := p.client.Do(httpReq)
-	if err != nil {
-		return "", false, fmt.Errorf("submit cells: %w", err)
-	}
-	defer resp.Body.Close()
+func (p *Pool) trySubmitCells(ctx context.Context, w *workerState, req *CellsRequest) (id string, retryAfter time.Duration, retryable bool, err error) {
 	var out struct {
-		ID    string `json:"id"`
-		Error string `json:"error"`
+		ID string `json:"id"`
 	}
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
-		return "", false, fmt.Errorf("submit cells: HTTP %d: %v", resp.StatusCode, err)
+	if err := w.api.PostJSON(ctx, "/v1/cells", req, &out); err != nil {
+		var ae *apiclient.Error
+		if !errors.As(err, &ae) {
+			// Transport failure (refused, reset, timeout): the worker is
+			// unreachable, not back-pressured.
+			return "", 0, false, fmt.Errorf("submit cells: %w", err)
+		}
+		if ae.Status == http.StatusBadRequest {
+			// The worker understood the shard and said no — deterministic,
+			// so don't kill workers over it (see shardRejectedError).
+			return "", 0, false, &shardRejectedError{fmt.Sprintf("submit cells: %v", ae)}
+		}
+		return "", ae.RetryAfter, ae.Temporary(), fmt.Errorf("submit cells: %w", ae)
 	}
-	switch {
-	case resp.StatusCode == http.StatusAccepted && out.ID != "":
-		return out.ID, false, nil
-	case resp.StatusCode == http.StatusBadRequest:
-		// The worker understood the shard and said no — deterministic,
-		// so don't kill workers over it (see shardRejectedError).
-		return "", false, &shardRejectedError{fmt.Sprintf("submit cells: HTTP 400: %s", out.Error)}
-	default:
-		return "", resp.StatusCode == http.StatusServiceUnavailable,
-			fmt.Errorf("submit cells: HTTP %d: %s", resp.StatusCode, out.Error)
+	if out.ID == "" {
+		return "", 0, false, fmt.Errorf("submit cells: worker accepted the shard but returned no job id")
 	}
+	return out.ID, 0, false, nil
 }
 
 // cancelJob best-effort DELETEs a worker job (the coordinator is gone
@@ -481,11 +472,5 @@ func (p *Pool) trySubmitCells(ctx context.Context, w *workerState, req *CellsReq
 func (p *Pool) cancelJob(w *workerState, id string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, w.url+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return
-	}
-	if resp, err := p.client.Do(req); err == nil {
-		resp.Body.Close()
-	}
+	_ = w.api.Delete(ctx, "/v1/jobs/"+id, nil)
 }

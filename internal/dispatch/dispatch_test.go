@@ -377,7 +377,9 @@ func TestPoolContextCancel(t *testing.T) {
 func TestPoolShardRejectionDoesNotKillFleet(t *testing.T) {
 	rejecting := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusBadRequest)
-		json.NewEncoder(w).Encode(map[string]any{"error": `unknown app "ghost"`})
+		json.NewEncoder(w).Encode(map[string]any{
+			"error": map[string]string{"code": "bad_request", "message": `unknown app "ghost"`},
+		})
 	}))
 	t.Cleanup(rejecting.Close)
 	_, healthy := newFakeWorker(t, 111, -1)
@@ -500,8 +502,11 @@ func TestPoolRetriesSubmit503(t *testing.T) {
 		reject := rejects <= 2
 		mu.Unlock()
 		if reject {
+			w.Header().Set("Retry-After", "0")
 			w.WriteHeader(http.StatusServiceUnavailable)
-			json.NewEncoder(w).Encode(map[string]any{"error": "job queue is full"})
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": map[string]string{"code": "queue_full", "message": "job queue is full"},
+			})
 			return
 		}
 		inner.handleCells(w, r)

@@ -98,12 +98,19 @@ type Stats struct {
 type Store struct {
 	dir string
 
-	mu       sync.Mutex
-	f        *os.File // rows.jsonl, O_APPEND
-	byKey    map[string]int
-	recs     []Record // insertion order; byKey points into it
-	loaded   int64    // rows.jsonl bytes consumed into recs
-	sinceSnp int      // appends since the last index snapshot
+	mu    sync.Mutex
+	f     *os.File // rows.jsonl, O_APPEND
+	byKey map[string]int
+	recs  []Record // insertion order; byKey points into it
+	// raws[i] is recs[i]'s marshaled JSON line (no trailing newline),
+	// retained so the serving path can stream rows without re-marshaling
+	// or allocating per row. Each slice is immutable once stored — a
+	// replacement (duplicate key) swaps in a fresh slice rather than
+	// mutating the old one — so AppendRaw results stay valid after the
+	// store lock is released.
+	raws     [][]byte
+	loaded   int64 // rows.jsonl bytes consumed into recs
+	sinceSnp int   // appends since the last index snapshot
 	closed   bool
 
 	hits, misses, puts, corrupt, rebuilds int64
@@ -200,21 +207,30 @@ func (s *Store) loadIndex() {
 			s.rebuilds++
 			s.byKey = make(map[string]int)
 			s.recs = nil
+			s.raws = nil
 			return
 		}
-		s.insert(r)
+		s.insert(r, nil)
 	}
 	s.loaded = ix.Offset
 }
 
 // insert adds or replaces (last writer wins) one record in memory.
-func (s *Store) insert(r Record) {
+// raw is the record's marshaled JSON line without the trailing newline;
+// nil means "marshal it now" (the index-snapshot load path, where the
+// line bytes are not at hand).
+func (s *Store) insert(r Record, raw []byte) {
+	if raw == nil {
+		raw, _ = json.Marshal(r)
+	}
 	if i, ok := s.byKey[r.Key]; ok {
 		s.recs[i] = r
+		s.raws[i] = raw
 		return
 	}
 	s.byKey[r.Key] = len(s.recs)
 	s.recs = append(s.recs, r)
+	s.raws = append(s.raws, raw)
 }
 
 // scanTail decodes rows.jsonl from s.loaded to EOF, folding new records
@@ -229,6 +245,7 @@ func (s *Store) scanTail() (int, error) {
 		// Shrunk underneath us (someone replaced rows.jsonl): rebuild.
 		s.byKey = make(map[string]int)
 		s.recs = nil
+		s.raws = nil
 		s.loaded = 0
 		s.rebuilds++
 	}
@@ -256,7 +273,10 @@ func (s *Store) scanTail() (int, error) {
 			s.corrupt++
 			continue
 		}
-		s.insert(r)
+		// Clone the line out of the scan buffer so retaining it does not
+		// pin the whole tail read (and so a replaced record's raw bytes
+		// stay immutable).
+		s.insert(r, append([]byte(nil), line...))
 		n++
 	}
 	s.loaded += int64(end) + 1
@@ -307,7 +327,7 @@ func (s *Store) Put(r Record) error {
 	// case); otherwise the next scanTail picks both up.
 	if st, err := s.f.Stat(); err == nil && st.Size() == s.loaded+int64(len(line)) {
 		s.loaded = st.Size()
-		s.insert(r)
+		s.insert(r, line[:len(line)-1])
 	} else {
 		_, _ = s.scanTail()
 	}
@@ -341,6 +361,39 @@ func (s *Store) Query(q Query) []Record {
 		}
 	}
 	return out
+}
+
+// AppendRaw appends the marshaled JSON lines of the records matching q
+// to dst (in insertion order) and returns the extended slice. This is
+// the zero-allocation serving path: each element is the record's
+// retained JSONL bytes — no per-row marshaling, no copies — so a warm
+// query allocates nothing beyond dst growth when its capacity is
+// exceeded. The returned slices are immutable; they remain valid after
+// the call (a concurrent replacement of a key installs a fresh slice
+// rather than mutating the old one).
+func (s *Store) AppendRaw(q Query, dst [][]byte) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _ = s.scanTail()
+	matched := 0
+	for i := range s.recs {
+		r := &s.recs[i]
+		if q.App != "" && r.App != q.App {
+			continue
+		}
+		if q.Scheme != "" && r.Scheme != q.Scheme {
+			continue
+		}
+		if q.Key != "" && r.Key != q.Key {
+			continue
+		}
+		dst = append(dst, s.raws[i])
+		matched++
+		if q.Limit > 0 && matched >= q.Limit {
+			break
+		}
+	}
+	return dst
 }
 
 // Len returns the number of distinct keys currently loaded.

@@ -313,3 +313,95 @@ func TestOpenRejectsEmptyDir(t *testing.T) {
 		t.Fatal("Open(\"\") succeeded")
 	}
 }
+
+// TestAppendRawMatchesQuery: the raw serving path answers exactly what
+// Query answers — same records, same order, same filters — across the
+// three ways a record can enter memory (Put, JSONL tail scan, index
+// snapshot).
+func TestAppendRawMatchesQuery(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir)
+	s.Put(rec("k1", "delaunay", "whirlpool", 1))
+	s.Put(rec("k2", "delaunay", "jigsaw", 2))
+	s.Put(rec("k3", "mcf", "whirlpool", 3))
+	s.Sync() // snapshot so the reopen below loads via index.json
+	s.Close()
+
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put(rec("k4", "mcf", "jigsaw", 4)) // post-reopen Put path
+
+	for _, q := range []Query{
+		{}, {App: "delaunay"}, {Scheme: "whirlpool"}, {Key: "k3"},
+		{Limit: 2}, {App: "nosuch"},
+	} {
+		want := s.Query(q)
+		raws := s.AppendRaw(q, nil)
+		if len(raws) != len(want) {
+			t.Fatalf("AppendRaw(%+v) = %d rows, Query = %d", q, len(raws), len(want))
+		}
+		for i, raw := range raws {
+			var got Record
+			if err := json.Unmarshal(raw, &got); err != nil {
+				t.Fatalf("raw row %d is not JSON: %v\n%s", i, err, raw)
+			}
+			if got.Key != want[i].Key || string(got.Row) != string(want[i].Row) {
+				t.Fatalf("raw row %d = %+v, want %+v", i, got, want[i])
+			}
+		}
+	}
+}
+
+// TestAppendRawZeroAllocPerRow: serving a warm query allocates a small
+// constant (the file freshness stat), independent of row count — the
+// rows themselves are retained bytes, never re-marshaled.
+func TestAppendRawZeroAllocPerRow(t *testing.T) {
+	s, _ := Open(t.TempDir())
+	defer s.Close()
+	const rows = 1000
+	for i := 0; i < rows; i++ {
+		s.Put(rec(fmt.Sprintf("k%04d", i), "delaunay", "whirlpool", i))
+	}
+	dst := make([][]byte, 0, rows)
+	allocs := testing.AllocsPerRun(50, func() {
+		dst = s.AppendRaw(Query{}, dst[:0])
+		if len(dst) != rows {
+			t.Fatalf("got %d rows, want %d", len(dst), rows)
+		}
+	})
+	// The only allocations allowed are per-call constants (os.File.Stat
+	// in the freshness check) — anything that scales with rows fails.
+	if allocs > 4 {
+		t.Fatalf("AppendRaw allocated %.1f times for %d rows; want a small per-call constant", allocs, rows)
+	}
+}
+
+func BenchmarkAppendRawWarm(b *testing.B) {
+	s, _ := Open(b.TempDir())
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		s.Put(rec(fmt.Sprintf("k%04d", i), "delaunay", "whirlpool", i))
+	}
+	dst := make([][]byte, 0, 1000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.AppendRaw(Query{}, dst[:0])
+	}
+}
+
+func BenchmarkQueryWarm(b *testing.B) {
+	s, _ := Open(b.TempDir())
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		s.Put(rec(fmt.Sprintf("k%04d", i), "delaunay", "whirlpool", i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Query(Query{})
+	}
+}

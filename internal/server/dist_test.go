@@ -100,8 +100,14 @@ func TestCellsEndpoint(t *testing.T) {
 	}
 	var m map[string]any
 	getJSON(t, ts.URL+"/metrics", &m)
-	if m["whirld.jobs.shards"] != float64(1) {
-		t.Fatalf("shard counter = %v", m["whirld.jobs.shards"])
+	jobsM, _ := m["jobs"].(map[string]any)
+	if jobsM["shards"] != float64(1) {
+		t.Fatalf("shard counter = %v", m["jobs"])
+	}
+	var flat map[string]any
+	getJSON(t, ts.URL+"/metrics?format=flat", &flat)
+	if flat["whirld.jobs.shards"] != float64(1) {
+		t.Fatalf("flat shard counter = %v", flat["whirld.jobs.shards"])
 	}
 }
 

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"whirlpool/internal/results"
+)
+
+// checkEnvelope asserts a response is the uniform JSON error envelope
+// {"error":{"code","message"}} with the expected status and code, a
+// JSON content type, a non-empty message, and — when wantRetry — a
+// positive integer Retry-After header.
+func checkEnvelope(t *testing.T, label string, resp *http.Response, wantStatus int, wantCode string, wantRetry bool) {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Errorf("%s: status = %d, want %d", label, resp.StatusCode, wantStatus)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("%s: Content-Type = %q, want application/json", label, ct)
+	}
+	var env struct {
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Errorf("%s: body is not the envelope: %v", label, err)
+		return
+	}
+	if env.Error.Code != wantCode {
+		t.Errorf("%s: code = %q, want %q", label, env.Error.Code, wantCode)
+	}
+	if env.Error.Message == "" {
+		t.Errorf("%s: envelope message is empty", label)
+	}
+	ra := resp.Header.Get("Retry-After")
+	if wantRetry && ra == "" {
+		t.Errorf("%s: %d response lacks Retry-After", label, wantStatus)
+	}
+	if !wantRetry && ra != "" {
+		t.Errorf("%s: unexpected Retry-After %q", label, ra)
+	}
+}
+
+// TestErrorEnvelopeEveryFailurePath drives each handler's failure
+// branches over a live server and asserts the envelope contract on all
+// of them: the stateless 400/404s, the 400s that need a finished job,
+// and the 409 that needs an unfinished one.
+func TestErrorEnvelopeEveryFailurePath(t *testing.T) {
+	_, ts, _ := newTestServer(t)
+
+	// A finished job for the rows-format 400 path.
+	done, _ := postSweep(t, ts, smallSweep)["id"].(string)
+	awaitJob(t, ts, done)
+
+	cases := []struct {
+		label  string
+		method string
+		path   string
+		body   string
+		status int
+		code   string
+	}{
+		{"sweeps malformed body", "POST", "/v1/sweeps", `{not json`, 400, "bad_request"},
+		{"sweeps unknown field", "POST", "/v1/sweeps", `{"bogus_field":1}`, 400, "bad_request"},
+		{"sweeps unknown app", "POST", "/v1/sweeps", `{"apps":["nosuchapp"]}`, 400, "bad_request"},
+		{"sweeps unknown scheme", "POST", "/v1/sweeps", `{"apps":["delaunay"],"schemes":["bogus"]}`, 400, "bad_request"},
+		{"sweeps bad scale", "POST", "/v1/sweeps", `{"apps":["delaunay"],"scale":-1}`, 400, "bad_request"},
+		{"cells malformed body", "POST", "/v1/cells", `{not json`, 400, "bad_request"},
+		{"cells unknown app", "POST", "/v1/cells", `{"cells":[{"app":"nosuchapp","scheme":"jigsaw"}],"scale":0.02}`, 400, "bad_request"},
+		{"job status not found", "GET", "/v1/jobs/j999", "", 404, "not_found"},
+		{"job rows not found", "GET", "/v1/jobs/j999/rows", "", 404, "not_found"},
+		{"job stream not found", "GET", "/v1/jobs/j999/stream", "", 404, "not_found"},
+		{"job cancel not found", "DELETE", "/v1/jobs/j999", "", 404, "not_found"},
+		{"rows bad format", "GET", "/v1/jobs/" + done + "/rows?format=bogus", "", 400, "bad_request"},
+		{"results bad limit", "GET", "/v1/results?limit=bogus", "", 400, "bad_request"},
+		{"results negative limit", "GET", "/v1/results?limit=-3", "", 400, "bad_request"},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tc.method == "POST" {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEnvelope(t, tc.label, resp, tc.status, tc.code, false)
+	}
+}
+
+// TestErrorEnvelopeBackPressure covers the three back-pressure paths —
+// rows on an unfinished job (409), a full queue (503 + Retry-After),
+// and a draining daemon (503 + Retry-After) — which need a server whose
+// single runner is pinned down by a long job.
+func TestErrorEnvelopeBackPressure(t *testing.T) {
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv, err := New(Config{Store: store, Workers: 1, QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// j1 occupies the single runner; j2 sits queued behind it, filling
+	// the depth-1 queue and staying deterministically unfinished.
+	id1, _ := postSweep(t, ts, `{"apps":["all"],"scale":0.05}`)["id"].(string)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var st map[string]any
+		getJSON(t, ts.URL+"/v1/jobs/"+id1, &st)
+		if st["state"] == "running" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never started", id1)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	id2, _ := postSweep(t, ts, smallSweep)["id"].(string)
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id2 + "/rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(t, "rows on queued job", resp, http.StatusConflict, "job_not_finished", false)
+
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(smallSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(t, "queue full", resp, http.StatusServiceUnavailable, "queue_full", true)
+
+	// Cancel both so Close below drains quickly, then assert the
+	// draining path's envelope.
+	for _, id := range []string{id1, id2} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+id, nil)
+		r, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	awaitJob(t, ts, id1)
+	awaitJob(t, ts, id2)
+	srv.Close()
+	resp, err = http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(smallSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEnvelope(t, "draining", resp, http.StatusServiceUnavailable, "shutting_down", true)
+}
+
+// TestErrorEnvelopeShed covers the admission-control 429: a parked
+// request holds the endpoint's one slot, so the probe is shed with the
+// overloaded envelope and a Retry-After hint.
+func TestErrorEnvelopeShed(t *testing.T) {
+	store, err := results.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Store: store, EndpointLimits: map[string]int{"results": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); store.Close() })
+
+	for _, ep := range srv.endpoints {
+		if ep.name == "results" {
+			ep.inflight.Add(1)
+			defer ep.inflight.Add(-1)
+		}
+	}
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/results", nil))
+	resp := rec.Result()
+	checkEnvelope(t, "results shed", resp, http.StatusTooManyRequests, "overloaded", true)
+}

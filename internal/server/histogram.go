@@ -1,0 +1,134 @@
+package server
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets bounds the latency histogram: bucket i counts samples
+// whose microsecond value has bit-length i, i.e. [2^(i-1), 2^i), with
+// bucket 0 holding exact zeros. 40 buckets cover up to ~12.7 days —
+// anything longer saturates into the last bucket rather than indexing
+// out of range.
+const histBuckets = 40
+
+// latHist is a lock-free log-bucketed latency histogram. Writers are
+// request goroutines on the serving hot path, so recording is two
+// atomic adds and no allocation; quantiles are computed on read from a
+// snapshot (/metrics is the only reader).
+type latHist struct {
+	count   atomic.Int64
+	sumUS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a non-negative microsecond latency to its bucket.
+func bucketOf(us int64) int {
+	if us < 0 {
+		us = 0
+	}
+	b := bits.Len64(uint64(us))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// bucketBounds returns bucket i's [lo, hi) microsecond range.
+func bucketBounds(i int) (lo, hi float64) {
+	if i == 0 {
+		return 0, 1
+	}
+	return float64(int64(1) << (i - 1)), float64(int64(1) << i)
+}
+
+// observe records one latency sample in microseconds.
+func (h *latHist) observe(us int64) {
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	h.buckets[bucketOf(us)].Add(1)
+}
+
+// snapshot copies the histogram for quantile math. The copy is not a
+// perfectly consistent cut under concurrent writes (count and buckets
+// are read separately), which is fine for monitoring: quantiles are
+// computed against the buckets' own total.
+func (h *latHist) snapshot() histSnap {
+	var s histSnap
+	s.sumUS = h.sumUS.Load()
+	for i := range h.buckets {
+		s.buckets[i] = h.buckets[i].Load()
+		s.count += s.buckets[i]
+	}
+	return s
+}
+
+// histSnap is an immutable histogram snapshot; its quantile math is
+// pure, so it is the unit under test.
+type histSnap struct {
+	count   int64
+	sumUS   int64
+	buckets [histBuckets]int64
+}
+
+// quantile returns the q-th quantile (q in [0,1]) in microseconds,
+// interpolated linearly inside the winning log bucket. Edge cases are
+// pinned down rather than left to float drift:
+//   - an empty histogram is 0 for every q;
+//   - q <= 0 is the lower bound of the first occupied bucket;
+//   - q >= 1 is the upper bound of the last occupied bucket;
+//   - a single sample answers within its bucket's [lo, hi) for all q.
+//
+// The estimate's error is bounded by the bucket width (a factor of 2),
+// which is the standard trade for constant memory and lock-free writes.
+func (s *histSnap) quantile(q float64) float64 {
+	if s.count == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank of the sample we want, 1-based; q=0 still targets the first.
+	rank := q * float64(s.count)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for i, n := range s.buckets {
+		if n == 0 {
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo, hi := bucketBounds(i)
+			// Fraction of the way through this bucket's samples.
+			frac := (rank - float64(cum)) / float64(n)
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	// Unreachable when counts are consistent; defensively return the
+	// last occupied bucket's upper bound.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if s.buckets[i] > 0 {
+			_, hi := bucketBounds(i)
+			return hi
+		}
+	}
+	return 0
+}
+
+// meanUS returns the exact mean in microseconds (the sum is tracked
+// outside the buckets, so the mean has no bucketing error).
+func (s *histSnap) meanUS() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sumUS) / float64(s.count)
+}
+
+// roundMS converts microseconds to milliseconds with 3 decimal places,
+// so /metrics output is stable and diff-friendly.
+func roundMS(us float64) float64 {
+	return math.Round(us) / 1000
+}

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func snapOf(samples ...int64) histSnap {
+	var h latHist
+	for _, s := range samples {
+		h.observe(s)
+	}
+	return h.snapshot()
+}
+
+// TestQuantileEmpty: an empty histogram answers 0 for every quantile —
+// the documented "no data yet" value, not NaN or a panic.
+func TestQuantileEmpty(t *testing.T) {
+	s := snapOf()
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.quantile(q); got != 0 {
+			t.Fatalf("empty quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	if s.meanUS() != 0 {
+		t.Fatalf("empty mean = %g, want 0", s.meanUS())
+	}
+}
+
+// TestQuantileOneSample: with a single sample every quantile must land
+// inside that sample's bucket [lo, hi), for all q including the 0 and 1
+// extremes.
+func TestQuantileOneSample(t *testing.T) {
+	for _, us := range []int64{0, 1, 7, 100, 1 << 20} {
+		s := snapOf(us)
+		lo, hi := bucketBounds(bucketOf(us))
+		for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+			got := s.quantile(q)
+			if got < lo || got > hi {
+				t.Fatalf("one sample %dus: quantile(%g) = %g outside [%g, %g]", us, q, got, lo, hi)
+			}
+		}
+		if s.meanUS() != float64(us) {
+			t.Fatalf("one sample %dus: mean = %g", us, s.meanUS())
+		}
+	}
+}
+
+// TestQuantileSpread: quantiles of a bimodal distribution separate the
+// modes — p50 sits with the fast majority, p99 with the slow tail —
+// and the estimate error stays within the log bucket (factor of 2).
+func TestQuantileSpread(t *testing.T) {
+	var samples []int64
+	for i := 0; i < 99; i++ {
+		samples = append(samples, 100) // ~100us fast path
+	}
+	samples = append(samples, 1_000_000) // one 1s outlier
+	s := snapOf(samples...)
+
+	p50 := s.quantile(0.50)
+	if p50 < 64 || p50 > 128 {
+		t.Fatalf("p50 = %gus, want within the 100us bucket [64, 128)", p50)
+	}
+	p99 := s.quantile(0.99)
+	if p99 > 256 {
+		t.Fatalf("p99 = %gus, want still in the fast mode (99th of 100 samples is fast)", p99)
+	}
+	p100 := s.quantile(1)
+	if p100 < 524288 || p100 > 2097152 {
+		t.Fatalf("p100 = %gus, want within a factor of 2 of the 1s outlier", p100)
+	}
+}
+
+// TestQuantileMonotone: quantiles never decrease in q, across a messy
+// multi-bucket distribution.
+func TestQuantileMonotone(t *testing.T) {
+	s := snapOf(3, 17, 90, 90, 1200, 1201, 50000, 50001, 7, 0)
+	prev := -1.0
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		got := s.quantile(q)
+		if got < prev {
+			t.Fatalf("quantile(%g) = %g < quantile(%g) = %g", q, got, q-0.01, prev)
+		}
+		prev = got
+	}
+}
+
+// TestQuantileClamps: out-of-range q behaves as its nearest bound.
+func TestQuantileClamps(t *testing.T) {
+	s := snapOf(100, 200, 400)
+	if s.quantile(2) != s.quantile(1) {
+		t.Fatal("q > 1 should clamp to 1")
+	}
+	if s.quantile(-0.5) != s.quantile(0) {
+		t.Fatal("q < 0 should clamp to 0")
+	}
+}
+
+// TestBucketOf: the mapping is the microsecond bit length, zero maps to
+// bucket 0, negatives clamp to 0, and the top saturates instead of
+// indexing out of range.
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		us   int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {1023, 10}, {1024, 11},
+		{math.MaxInt64, histBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := bucketOf(tc.us); got != tc.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", tc.us, got, tc.want)
+		}
+	}
+}
+
+// TestHistConcurrent: concurrent observers never lose counts (the
+// histogram is on the request hot path; this is also the -race probe).
+func TestHistConcurrent(t *testing.T) {
+	var h latHist
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.observe(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.snapshot()
+	if s.count != workers*per {
+		t.Fatalf("count = %d, want %d", s.count, workers*per)
+	}
+}

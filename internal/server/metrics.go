@@ -3,14 +3,17 @@ package server
 import (
 	"encoding/json"
 	"expvar"
+	"fmt"
 	"net/http"
 	"runtime"
 	"sync/atomic"
+	"time"
 )
 
-// metrics are the daemon's monotonic counters, served by /metrics in
-// expvar style (flat JSON object; the process-wide expvar memstats ride
-// along).
+// metrics are the daemon's monotonic counters, served by /metrics as
+// namespaced JSON (server.* / jobs.* / dispatch.* / store.*), with the
+// pre-v1 flat expvar-style keys still available via ?format=flat (the
+// mapping is documented in docs/server.md).
 type metrics struct {
 	jobsSubmitted atomic.Int64
 	jobsDone      atomic.Int64
@@ -29,9 +32,86 @@ type metrics struct {
 	// worker deaths that caused them.
 	redispatched atomic.Int64
 	workersLost  atomic.Int64
+	// shed counts requests rejected by a per-endpoint concurrency limit
+	// (429 + Retry-After) — distinct from queue-full 503s, which are
+	// jobs the daemon accepted the connection for but had no queue
+	// space to hold.
+	shed atomic.Int64
 }
 
+// handleMetrics serves the namespaced metrics document:
+//
+//	{
+//	  "server":   {uptime, goroutines, shed, endpoints.<name>.{requests,inflight,shed,limit,latency{p50/p95/p99}}},
+//	  "jobs":     {submitted, done, failed, canceled, shards, rows{served, computed, marshal_errors}},
+//	  "dispatch": {redispatched, workers_lost},
+//	  "store":    {hits, misses, puts, corrupt_rows, index_rebuilds, records},
+//	  "memstats": {...}
+//	}
+//
+// ?format=flat keeps the pre-v1 flat keys (whirld.jobs.submitted, ...)
+// byte-compatible for existing scrapers, with the new counters flattened
+// alongside them.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		writeJSON(w, http.StatusOK, s.metricsTree())
+	case "flat":
+		writeJSON(w, http.StatusOK, s.metricsFlat())
+	default:
+		httpErr(w, http.StatusBadRequest, errBadRequest, "unknown format %q (valid: json, flat)", format)
+	}
+}
+
+// metricsTree builds the namespaced document.
+func (s *Server) metricsTree() map[string]any {
+	st := s.cfg.Store.Stats()
+	eps := map[string]any{}
+	for _, ep := range s.endpointsByName() {
+		eps[ep.name] = ep.stats()
+	}
+	out := map[string]any{
+		"server": map[string]any{
+			"uptime_s":   int64(time.Since(s.started).Seconds()),
+			"goroutines": runtime.NumGoroutine(),
+			"shed":       s.metrics.shed.Load(),
+			"endpoints":  eps,
+		},
+		"jobs": map[string]any{
+			"submitted": s.metrics.jobsSubmitted.Load(),
+			"done":      s.metrics.jobsDone.Load(),
+			"failed":    s.metrics.jobsFailed.Load(),
+			"canceled":  s.metrics.jobsCanceled.Load(),
+			"shards":    s.metrics.shardJobs.Load(),
+			"rows": map[string]any{
+				"served":         s.metrics.rowsServed.Load(),
+				"computed":       s.metrics.rowsComputed.Load(),
+				"marshal_errors": s.metrics.rowMarshalErrs.Load(),
+			},
+		},
+		"dispatch": map[string]any{
+			"redispatched": s.metrics.redispatched.Load(),
+			"workers_lost": s.metrics.workersLost.Load(),
+		},
+		"store": map[string]any{
+			"hits":           st.Hits,
+			"misses":         st.Misses,
+			"puts":           st.Puts,
+			"corrupt_rows":   st.CorruptRows,
+			"index_rebuilds": st.IndexRebuilds,
+			"records":        st.Records,
+		},
+	}
+	if ms := expvar.Get("memstats"); ms != nil {
+		out["memstats"] = json.RawMessage(ms.String())
+	}
+	return out
+}
+
+// metricsFlat renders the legacy flat document: the exact pre-v1 keys,
+// plus the new server.* counters flattened with the same dotted-path
+// convention.
+func (s *Server) metricsFlat() map[string]any {
 	st := s.cfg.Store.Stats()
 	out := map[string]any{
 		"whirld.jobs.submitted":        s.metrics.jobsSubmitted.Load(),
@@ -51,9 +131,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"store.index_rebuilds":         st.IndexRebuilds,
 		"store.records":                st.Records,
 		"goroutines":                   runtime.NumGoroutine(),
+		"server.shed":                  s.metrics.shed.Load(),
+	}
+	for _, ep := range s.endpointsByName() {
+		snap := ep.hist.snapshot()
+		prefix := "server.endpoints." + ep.name
+		out[prefix+".requests"] = ep.requests.Load()
+		out[prefix+".inflight"] = ep.inflight.Load()
+		out[prefix+".shed"] = ep.shed.Load()
+		if ep.limit > 0 {
+			out[prefix+".limit"] = ep.limit
+		}
+		out[fmt.Sprintf("%s.latency.count", prefix)] = snap.count
+		out[fmt.Sprintf("%s.latency.p50_ms", prefix)] = roundMS(snap.quantile(0.50))
+		out[fmt.Sprintf("%s.latency.p95_ms", prefix)] = roundMS(snap.quantile(0.95))
+		out[fmt.Sprintf("%s.latency.p99_ms", prefix)] = roundMS(snap.quantile(0.99))
 	}
 	if ms := expvar.Get("memstats"); ms != nil {
 		out["memstats"] = json.RawMessage(ms.String())
 	}
-	writeJSON(w, http.StatusOK, out)
+	return out
 }

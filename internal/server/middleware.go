@@ -1,0 +1,123 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// endpoint is the per-route serving state: a latency histogram, an
+// in-flight gauge, and the concurrency limit that sheds load when the
+// route is overdriven. One endpoint may cover several routes (all the
+// /v1/jobs reads are one "jobs" endpoint).
+type endpoint struct {
+	name     string
+	limit    int64 // 0 = unlimited
+	inflight atomic.Int64
+	requests atomic.Int64
+	shed     atomic.Int64
+	hist     latHist
+}
+
+// defaultLimits are the per-endpoint concurrency caps. The point is
+// isolation, not throttling: each cap is far above a healthy endpoint's
+// concurrency, so shedding only starts when one request class is
+// overdriven — and the other endpoints, each behind their own cap,
+// keep serving. 0 means unlimited (health and metrics must stay
+// reachable precisely when everything else is shedding).
+var defaultLimits = map[string]int{
+	"sweeps":  16,
+	"cells":   16,
+	"jobs":    256,
+	"stream":  128,
+	"rows":    64,
+	"results": 256,
+	"healthz": 0,
+	"metrics": 0,
+}
+
+// EndpointNames returns the daemon's endpoint names, sorted — the valid
+// keys for Config.EndpointLimits (and whirld's -inflight flag).
+func EndpointNames() []string {
+	names := make([]string, 0, len(defaultLimits))
+	for name := range defaultLimits {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// newEndpoint builds (or, for routes sharing a name, reuses) one
+// endpoint, applying the Config override when present (negative
+// overrides mean unlimited).
+func (s *Server) newEndpoint(name string) *endpoint {
+	for _, ep := range s.endpoints {
+		if ep.name == name {
+			return ep
+		}
+	}
+	limit, ok := s.cfg.EndpointLimits[name]
+	if !ok {
+		limit = defaultLimits[name]
+	}
+	if limit < 0 {
+		limit = 0
+	}
+	ep := &endpoint{name: name, limit: int64(limit)}
+	s.endpoints = append(s.endpoints, ep)
+	return ep
+}
+
+// route registers pattern on the mux wrapped in the endpoint's
+// instrumentation: admission first (shed with 429 + Retry-After beyond
+// the concurrency limit), then latency measurement into the histogram.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	ep := s.newEndpoint(name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		ep.requests.Add(1)
+		if ep.limit > 0 {
+			if ep.inflight.Add(1) > ep.limit {
+				ep.inflight.Add(-1)
+				ep.shed.Add(1)
+				s.metrics.shed.Add(1)
+				httpErrRetry(w, http.StatusTooManyRequests, 1, "overloaded",
+					"%s is at its concurrency limit (%d in flight); retry later", ep.name, ep.limit)
+				return
+			}
+			defer ep.inflight.Add(-1)
+		}
+		start := time.Now()
+		h(w, r)
+		ep.hist.observe(time.Since(start).Microseconds())
+	})
+}
+
+// endpointStats renders one endpoint's /metrics object.
+func (ep *endpoint) stats() map[string]any {
+	snap := ep.hist.snapshot()
+	out := map[string]any{
+		"requests": ep.requests.Load(),
+		"inflight": ep.inflight.Load(),
+		"shed":     ep.shed.Load(),
+		"latency": map[string]any{
+			"count":   snap.count,
+			"mean_ms": roundMS(snap.meanUS()),
+			"p50_ms":  roundMS(snap.quantile(0.50)),
+			"p95_ms":  roundMS(snap.quantile(0.95)),
+			"p99_ms":  roundMS(snap.quantile(0.99)),
+		},
+	}
+	if ep.limit > 0 {
+		out["limit"] = ep.limit
+	}
+	return out
+}
+
+// endpointsByName returns the endpoints sorted by name for stable
+// /metrics output.
+func (s *Server) endpointsByName() []*endpoint {
+	eps := append([]*endpoint(nil), s.endpoints...)
+	sort.Slice(eps, func(i, j int) bool { return eps[i].name < eps[j].name })
+	return eps
+}

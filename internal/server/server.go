@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -67,6 +68,12 @@ type Config struct {
 	// new job finishes beyond the bound, the oldest terminal jobs are
 	// evicted. <= 0 means 256.
 	JobHistory int
+	// EndpointLimits overrides per-endpoint concurrency limits by
+	// endpoint name (sweeps, cells, jobs, stream, rows, results,
+	// healthz, metrics). Requests beyond an endpoint's limit are shed
+	// with 429 + Retry-After instead of queuing behind it. Absent
+	// entries use defaultLimits; negative values mean unlimited.
+	EndpointLimits map[string]int
 	// Version is reported by /healthz (cliutil.Version in whirld).
 	Version string
 }
@@ -97,8 +104,9 @@ type Server struct {
 	// start), but prefer distinct names.
 	regMu sync.Mutex
 
-	started time.Time
-	metrics metrics
+	started   time.Time
+	metrics   metrics
+	endpoints []*endpoint
 }
 
 // SweepRequest is the POST /v1/sweeps body. Semantics mirror the
@@ -139,6 +147,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 256
 	}
+	for name := range cfg.EndpointLimits {
+		if _, ok := defaultLimits[name]; !ok {
+			return nil, fmt.Errorf("server: unknown endpoint %q in EndpointLimits (valid: %s)",
+				name, strings.Join(EndpointNames(), ", "))
+		}
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:     cfg,
@@ -149,16 +163,18 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
-	s.mux.HandleFunc("POST /v1/cells", s.handleCells)
-	s.mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
-	s.mux.HandleFunc("GET /v1/jobs/{id}/rows", s.handleRows)
-	s.mux.HandleFunc("GET /v1/results", s.handleResults)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Routes sharing a name share one endpoint: one concurrency limit,
+	// one latency histogram (server.endpoints.<name> in /metrics).
+	s.route("POST /v1/sweeps", "sweeps", s.handleSubmit)
+	s.route("POST /v1/cells", "cells", s.handleCells)
+	s.route("GET /v1/jobs", "jobs", s.handleJobs)
+	s.route("GET /v1/jobs/{id}", "jobs", s.handleJob)
+	s.route("DELETE /v1/jobs/{id}", "jobs", s.handleCancel)
+	s.route("GET /v1/jobs/{id}/stream", "stream", s.handleStream)
+	s.route("GET /v1/jobs/{id}/rows", "rows", s.handleRows)
+	s.route("GET /v1/results", "results", s.handleResults)
+	s.route("GET /healthz", "healthz", s.handleHealthz)
+	s.route("GET /metrics", "metrics", s.handleMetrics)
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.runners.Add(1)
 		go s.runJobs()
@@ -385,10 +401,39 @@ func forwardSpec(j *job) (json.RawMessage, error) {
 
 // --- request handling ---
 
-func httpErr(w http.ResponseWriter, code int, format string, args ...any) {
+// Error codes carried by the envelope on every non-2xx /v1 response.
+// They are API surface: internal/apiclient exposes them verbatim and
+// docs/api.md documents them, so treat renames as breaking changes.
+const (
+	errBadRequest     = "bad_request"      // 400: malformed body, unknown name, bad parameter
+	errNotFound       = "not_found"        // 404: no such job
+	errJobNotFinished = "job_not_finished" // 409: rows requested before the job is terminal
+	errOverloaded     = "overloaded"       // 429: per-endpoint concurrency limit shed
+	errQueueFull      = "queue_full"       // 503: job queue at capacity
+	errShuttingDown   = "shutting_down"    // 503: daemon is draining
+	errInternal       = "internal"         // 500: the daemon's fault, not the caller's
+)
+
+// httpErr writes the uniform JSON error envelope:
+//
+//	{"error": {"code": "bad_request", "message": "unknown app \"x\""}}
+//
+// Every non-2xx /v1 response goes through here (or httpErrRetry), so
+// clients can rely on the shape.
+func httpErr(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]any{
+		"error": map[string]string{"code": code, "message": fmt.Sprintf(format, args...)},
+	})
+}
+
+// httpErrRetry is httpErr plus a Retry-After hint — the back-pressure
+// contract for 429 (concurrency shed) and 503 (queue full, draining):
+// the condition is transient and the client should come back.
+func httpErrRetry(w http.ResponseWriter, status, retryAfterSecs int, code, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs))
+	httpErr(w, status, code, format, args...)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -407,12 +452,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpErr(w, http.StatusBadRequest, errBadRequest, "bad request body: %v", err)
 		return
 	}
 	j, err := s.buildJob(&req)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
+		httpErr(w, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
 	s.enqueue(w, j)
@@ -429,12 +474,12 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		httpErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		httpErr(w, http.StatusBadRequest, errBadRequest, "bad request body: %v", err)
 		return
 	}
 	j, err := s.buildCellsJob(&req)
 	if err != nil {
-		httpErr(w, http.StatusBadRequest, "%v", err)
+		httpErr(w, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
 	if s.enqueue(w, j) {
@@ -453,7 +498,7 @@ func (s *Server) enqueue(w http.ResponseWriter, j *job) bool {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		httpErr(w, http.StatusServiceUnavailable, "daemon is shutting down")
+		httpErrRetry(w, http.StatusServiceUnavailable, 5, errShuttingDown, "daemon is shutting down")
 		return false
 	}
 	// The id must be set before the job is visible to a runner (status
@@ -467,7 +512,7 @@ func (s *Server) enqueue(w http.ResponseWriter, j *job) bool {
 		s.order = append(s.order, j.id)
 	default:
 		s.mu.Unlock()
-		httpErr(w, http.StatusServiceUnavailable, "job queue is full (%d pending)", s.cfg.QueueDepth)
+		httpErrRetry(w, http.StatusServiceUnavailable, 1, errQueueFull, "job queue is full (%d pending)", s.cfg.QueueDepth)
 		return false
 	}
 	s.mu.Unlock()
@@ -688,7 +733,7 @@ func (s *Server) job(w http.ResponseWriter, r *http.Request) *job {
 	j := s.jobs[r.PathValue("id")]
 	s.mu.Unlock()
 	if j == nil {
-		httpErr(w, http.StatusNotFound, "no such job %q", r.PathValue("id"))
+		httpErr(w, http.StatusNotFound, errNotFound, "no such job %q", r.PathValue("id"))
 	}
 	return j
 }
@@ -736,7 +781,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		httpErr(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		httpErr(w, http.StatusInternalServerError, errInternal, "streaming unsupported by this connection")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
@@ -793,7 +838,7 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 	}
 	rows, state := j.resultRows()
 	if rows == nil {
-		httpErr(w, http.StatusConflict, "job %s is %s; rows are available once it finishes", j.id, state)
+		httpErr(w, http.StatusConflict, errJobNotFinished, "job %s is %s; rows are available once it finishes", j.id, state)
 		return
 	}
 	switch format := r.URL.Query().Get("format"); format {
@@ -807,12 +852,22 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		experiments.WriteRowsTable(w, rows)
 	default:
-		httpErr(w, http.StatusBadRequest, "unknown format %q (valid: json, csv, table)", format)
+		httpErr(w, http.StatusBadRequest, errBadRequest, "unknown format %q (valid: json, csv, table)", format)
 	}
 }
 
+// rawRowsPool recycles the raw-line gathering slice across /v1/results
+// requests so the warm path allocates nothing per row or per request
+// once the pool and the slice capacity are warm.
+var rawRowsPool = sync.Pool{
+	New: func() any { s := make([][]byte, 0, 256); return &s },
+}
+
 // handleResults queries the persistent store directly; filters are
-// ?app=, ?scheme=, ?key=, ?limit=.
+// ?app=, ?scheme=, ?key=, ?limit=. Rows are served from the store's
+// retained JSONL bytes (results.Store.AppendRaw) — the warm path does
+// no per-row marshaling or allocation, which is what keeps p99 flat
+// when whirlload overdrives this endpoint.
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	q := results.Query{
 		App:    r.URL.Query().Get("app"),
@@ -823,16 +878,30 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 		// strconv.Atoi, not Sscanf: "10abc" must be a 400, not a 10.
 		n, err := strconv.Atoi(lim)
 		if err != nil || n < 0 {
-			httpErr(w, http.StatusBadRequest, "bad limit %q (want a non-negative integer)", lim)
+			httpErr(w, http.StatusBadRequest, errBadRequest, "bad limit %q (want a non-negative integer)", lim)
 			return
 		}
 		q.Limit = n
 	}
-	recs := s.cfg.Store.Query(q)
-	if recs == nil {
-		recs = []results.Record{}
+	ptr := rawRowsPool.Get().(*[][]byte)
+	raws := s.cfg.Store.AppendRaw(q, (*ptr)[:0])
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("["))
+	for i, raw := range raws {
+		if i > 0 {
+			w.Write([]byte(",\n"))
+		}
+		w.Write(raw)
 	}
-	writeJSON(w, http.StatusOK, recs)
+	w.Write([]byte("]\n"))
+	// Drop the row references before pooling so the pool does not pin
+	// store bytes between requests.
+	for i := range raws {
+		raws[i] = nil
+	}
+	*ptr = raws[:0]
+	rawRowsPool.Put(ptr)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -348,11 +348,32 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/metrics", &m); code != http.StatusOK {
 		t.Fatalf("metrics: %d", code)
 	}
-	if m["whirld.jobs.submitted"] != float64(1) || m["whirld.rows.computed"] != float64(1) {
-		t.Fatalf("metrics = %v", m)
+	jobs, _ := m["jobs"].(map[string]any)
+	rows, _ := jobs["rows"].(map[string]any)
+	if jobs["submitted"] != float64(1) || rows["computed"] != float64(1) {
+		t.Fatalf("metrics.jobs = %v", m["jobs"])
+	}
+	srvM, _ := m["server"].(map[string]any)
+	eps, _ := srvM["endpoints"].(map[string]any)
+	sweeps, _ := eps["sweeps"].(map[string]any)
+	lat, _ := sweeps["latency"].(map[string]any)
+	if sweeps["requests"] != float64(1) || lat["count"] != float64(1) {
+		t.Fatalf("metrics.server.endpoints.sweeps = %v", sweeps)
 	}
 	if _, ok := m["memstats"]; !ok {
 		t.Fatal("metrics missing memstats")
+	}
+
+	// The legacy flat keys survive behind ?format=flat.
+	var flat map[string]any
+	if code := getJSON(t, ts.URL+"/metrics?format=flat", &flat); code != http.StatusOK {
+		t.Fatalf("flat metrics: %d", code)
+	}
+	if flat["whirld.jobs.submitted"] != float64(1) || flat["whirld.rows.computed"] != float64(1) {
+		t.Fatalf("flat metrics = %v", flat)
+	}
+	if _, ok := flat["server.endpoints.sweeps.latency.p99_ms"]; !ok {
+		t.Fatal("flat metrics missing flattened endpoint latency")
 	}
 }
 
@@ -609,8 +630,9 @@ func TestDuplicateAppsRejected(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("duplicate apps: status %d (%v), want 400", resp.StatusCode, body)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "duplicate app") {
-		t.Fatalf("error = %q", body["error"])
+	if env, _ := body["error"].(map[string]any); env["code"] != "bad_request" ||
+		!strings.Contains(env["message"].(string), "duplicate app") {
+		t.Fatalf("error = %v", body["error"])
 	}
 
 	// Duplicate schemes cross into identical cells the same way.
@@ -625,8 +647,9 @@ func TestDuplicateAppsRejected(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("duplicate schemes: status %d (%v), want 400", resp.StatusCode, body)
 	}
-	if msg, _ := body["error"].(string); !strings.Contains(msg, "duplicate scheme") {
-		t.Fatalf("error = %q", body["error"])
+	if env, _ := body["error"].(map[string]any); env["code"] != "bad_request" ||
+		!strings.Contains(env["message"].(string), "duplicate scheme") {
+		t.Fatalf("error = %v", body["error"])
 	}
 }
 
