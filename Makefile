@@ -9,7 +9,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X whirlpool/internal/cliutil.buildVersion=$(VERSION)"
 
-.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke serve-smoke dist-smoke load-smoke ci
+.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -24,10 +24,11 @@ test:
 
 # The concurrency hot spots: the sweep worker pool and the per-app
 # once-cache in the experiments harness, the result store's concurrent
-# writers, the daemon's job pool + SSE broadcast, and the distributed
-# dispatcher's shard fan-out.
+# writers, the daemon's job pool + SSE broadcast, the distributed
+# dispatcher's shard fan-out, and the fleet registry's heartbeat/expiry
+# races.
 race:
-	$(GO) test -race -count=1 ./internal/experiments/... ./internal/results/ ./internal/server/ ./internal/dispatch/
+	$(GO) test -race -count=1 ./internal/experiments/... ./internal/results/ ./internal/server/ ./internal/dispatch/ ./internal/fleet/
 
 vet:
 	$(GO) vet ./...
@@ -128,6 +129,14 @@ serve-smoke:
 dist-smoke:
 	GO="$(GO)" sh scripts/dist-smoke.sh
 
+# Elastic-fleet smoke: workers join a coordinator by registration alone
+# (-join, no -workers flag), a third worker joining mid-sweep receives
+# cells, and a worker killed -9 mid-sweep has its lease expire and its
+# cells re-route to the survivors — with the merged grid bit-identical
+# to a single-node run. See scripts/fleet-smoke.sh.
+fleet-smoke:
+	GO="$(GO)" sh scripts/fleet-smoke.sh
+
 # Serving-SLO smoke: whirltool load drives a warm whirld with a mixed
 # traffic spec (throughput floors + p99 SLOs fail the run when
 # breached), then overdrives /v1/results past its concurrency limit and
@@ -136,4 +145,4 @@ dist-smoke:
 load-smoke:
 	GO="$(GO)" sh scripts/load-smoke.sh
 
-ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke load-smoke
+ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke

@@ -6,16 +6,22 @@
 // re-simulation — the same store whirlsweep -store reads and writes,
 // so the CLI and the daemon share one result universe.
 //
-// In coordinator mode (-workers http://...,http://...) the daemon
-// shards each sweep's unserved cells by content-address across remote
-// worker whirlds, collects their rows over SSE, and commits everything
-// to its own store; a dead worker's cells re-dispatch to the survivors.
+// In coordinator mode the daemon shards each sweep's unserved cells
+// across a fleet of remote worker whirlds, collects their rows over
+// SSE, and commits everything to its own store. The fleet is elastic:
+// workers either appear on the -workers list (static members, assumed
+// alive forever) or join themselves at runtime with -join (leased
+// members that heartbeat; a worker that misses its lease deadline is
+// dead exactly like a dropped connection, and its cells re-route to
+// the survivors). Routing is capacity- and load-aware, so a -parallel
+// 8 worker draws more cells than a -parallel 2 one.
 //
 // Usage:
 //
 //	whirld                                   # 127.0.0.1:8080, store under the user cache dir
 //	whirld -addr :9090 -store ./store -trace-cache auto -parallel 8
-//	whirld -workers http://10.0.0.2:8080,http://10.0.0.3:8080   # coordinator
+//	whirld -workers http://10.0.0.2:8080,http://10.0.0.3:8080   # static coordinator
+//	whirld -addr :0 -join http://10.0.0.1:8080                  # elastic worker
 //	curl -X POST -d '{"apps":["delaunay"],"scale":0.1}' localhost:8080/v1/sweeps
 //	curl -N localhost:8080/v1/jobs/j1/stream # SSE rows as cells finish
 //
@@ -27,6 +33,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -38,6 +45,7 @@ import (
 	"time"
 
 	"whirlpool/internal/cliutil"
+	"whirlpool/internal/fleet"
 	"whirlpool/internal/results"
 	"whirlpool/internal/server"
 )
@@ -67,11 +75,59 @@ func parseInflight(s string) (map[string]int, error) {
 	return limits, nil
 }
 
+// resolveWorkers interprets -workers: a URL list is coordinator mode;
+// a plain integer is the flag's deprecated pre-distributed meaning
+// (simulation parallelism, now -parallel), kept working with a
+// deprecation warning on warn.
+func resolveWorkers(workersFlag string, parallelSet bool, parallel *int, warn io.Writer) ([]string, error) {
+	if workersFlag == "" {
+		return nil, nil
+	}
+	if n, err := strconv.Atoi(workersFlag); err == nil {
+		// An explicit -parallel alongside integer -workers is
+		// contradictory — refuse rather than silently pick one.
+		if parallelSet {
+			return nil, fmt.Errorf("-workers %d conflicts with -parallel %d: integer -workers is the old name for -parallel; use one", n, *parallel)
+		}
+		fmt.Fprintf(warn, "whirld: -workers %d is deprecated; use -parallel %d\n", n, n)
+		*parallel = n
+		return nil, nil
+	}
+	// Only the scheme is validated here; the fleet registry owns URL
+	// normalization (trimming, dedup) for every caller.
+	var urls []string
+	for _, u := range cliutil.SplitList(workersFlag) {
+		if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+			return nil, fmt.Errorf("-workers: %q is not a worker URL (want http://host:port, or a plain integer for -parallel)", u)
+		}
+		urls = append(urls, u)
+	}
+	return urls, nil
+}
+
+// advertiseURL derives the base URL a -join worker advertises when
+// -advertise is unset: the bound listen address, with wildcard hosts
+// rewritten to loopback so the coordinator gets something dialable.
+func advertiseURL(bound net.Addr) string {
+	host, port, err := net.SplitHostPort(bound.String())
+	if err != nil {
+		return "http://" + bound.String()
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port; the bound address is printed)")
 	storeFlag := flag.String("store", "auto", cliutil.StoreUsage)
 	traceCache := flag.String("trace-cache", "", cliutil.TraceCacheUsage)
-	workersFlag := flag.String("workers", "", "coordinator mode: comma-separated worker whirld base URLs (http://host:port) to shard sweeps across; a plain integer is accepted as -parallel, the flag's pre-distributed meaning")
+	workersFlag := flag.String("workers", "", "coordinator mode: comma-separated worker whirld base URLs (http://host:port) to shard sweeps across as static fleet members; a plain integer is accepted as -parallel, the flag's deprecated pre-distributed meaning")
+	join := flag.String("join", "", "worker mode: register with this coordinator whirld (http://host:port) and renew a heartbeat lease until shutdown")
+	advertise := flag.String("advertise", "", "base URL the coordinator dials this worker at (with -join; default: derived from the bound -addr)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "coordinator: how long a joined worker survives without a heartbeat before its lease expires and its cells re-route to survivors (0 = 10s)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "parallel simulation workers per job")
 	queue := flag.Int("queue", 64, "max queued jobs before submits get 503")
 	inflight := flag.String("inflight", "", "per-endpoint concurrency limits as name=N pairs (e.g. results=64,sweeps=8); N<0 lifts an endpoint's default limit; endpoints: sweeps, cells, jobs, stream, rows, results, healthz, metrics")
@@ -85,26 +141,9 @@ func main() {
 			parallelSet = true
 		}
 	})
-	var workerURLs []string
-	if *workersFlag != "" {
-		if n, err := strconv.Atoi(*workersFlag); err == nil {
-			// Back-compat: -workers N meant simulation parallelism. An
-			// explicit -parallel alongside it is contradictory — refuse
-			// rather than silently pick one.
-			if parallelSet {
-				fatal(fmt.Errorf("-workers %d conflicts with -parallel %d: integer -workers is the old name for -parallel; use one", n, *parallel))
-			}
-			*parallel = n
-		} else {
-			// Only the scheme is validated here; dispatch.New owns URL
-			// normalization (trimming, dedup) for every caller.
-			for _, u := range cliutil.SplitList(*workersFlag) {
-				if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
-					fatal(fmt.Errorf("-workers: %q is not a worker URL (want http://host:port, or a plain integer for -parallel)", u))
-				}
-				workerURLs = append(workerURLs, u)
-			}
-		}
+	workerURLs, err := resolveWorkers(*workersFlag, parallelSet, parallel, os.Stderr)
+	if err != nil {
+		fatal(err)
 	}
 
 	limits, err := parseInflight(*inflight)
@@ -128,11 +167,16 @@ func main() {
 		fatal(err)
 	}
 
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "whirld: "+format+"\n", args...)
+	}
 	srv, err := server.New(server.Config{
 		Store:          store,
 		TraceCacheDir:  cacheDir,
 		Workers:        *parallel,
 		WorkerURLs:     workerURLs,
+		LeaseTTL:       *leaseTTL,
+		Logf:           logf,
 		QueueDepth:     *queue,
 		EndpointLimits: limits,
 		Version:        cliutil.Version(),
@@ -151,11 +195,34 @@ func main() {
 	fmt.Fprintf(os.Stderr, "whirld: store %s (%d rows), trace cache %q, %d parallel sim workers\n",
 		storeDir, store.Len(), cacheDir, *parallel)
 	if len(workerURLs) > 0 {
-		fmt.Fprintf(os.Stderr, "whirld: coordinator over %d workers: %s\n",
+		fmt.Fprintf(os.Stderr, "whirld: coordinator over %d static workers: %s\n",
 			len(workerURLs), strings.Join(workerURLs, ", "))
 	}
 	if *inflight != "" {
 		fmt.Fprintf(os.Stderr, "whirld: endpoint concurrency limits: %s\n", *inflight)
+	}
+
+	// Worker mode: join the coordinator's fleet and keep the lease
+	// warm. The agent retries registration until the coordinator is
+	// reachable, so boot order doesn't matter.
+	var agent *fleet.Agent
+	if *join != "" {
+		adv := *advertise
+		if adv == "" {
+			adv = advertiseURL(ln.Addr())
+		}
+		agent, err = fleet.StartAgent(fleet.AgentOptions{
+			Coordinator: *join,
+			Advertise:   adv,
+			Capacity:    *parallel,
+			Load:        srv.Load,
+			Logf:        logf,
+		})
+		if err != nil {
+			store.Close()
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "whirld: joining fleet at %s as %s (capacity %d)\n", *join, adv, *parallel)
 	}
 
 	httpSrv := &http.Server{Handler: srv.Handler()}
@@ -172,8 +239,13 @@ func main() {
 		fatal(err)
 	}
 
-	// Graceful shutdown: cancel jobs first (their committed rows are
-	// already in the store), which ends SSE streams, then drain HTTP.
+	// Graceful shutdown: leave the fleet first (so the coordinator
+	// stops routing here instead of waiting out the lease), then cancel
+	// jobs (their committed rows are already in the store), which ends
+	// SSE streams, then drain HTTP.
+	if agent != nil {
+		agent.Close()
+	}
 	srv.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

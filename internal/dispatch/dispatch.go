@@ -1,8 +1,21 @@
 // Package dispatch is the coordinator half of distributed sweep
-// execution: it shards a sweep's pending cells across remote worker
-// whirld daemons by content-address, collects their rows over the
-// existing SSE/HTTP job machinery, and re-dispatches a dead worker's
-// unfinished cells to the survivors.
+// execution: it routes a sweep's pending cells across the worker fleet
+// by content-address, collects their rows over the existing SSE/HTTP
+// job machinery, and re-dispatches cells when a worker dies — or
+// hands them to a worker that joined — mid-job.
+//
+// Workers come from a fleet.Membership (the coordinator's live
+// registry of self-registered workers, or a static URL list via New).
+// Dispatch proceeds in rounds: each round snapshots the alive set,
+// assigns pending cells in grid order to their weighted-rendezvous-
+// ranked members (fleet.Rank — capacity- and load-aware, deterministic
+// given the snapshot) up to a per-member quota, runs the shards in
+// parallel, and re-snapshots for the next round. The quota is what
+// makes the fleet elastic mid-job: cells beyond the fleet's current
+// per-round appetite wait, so a worker that registers between rounds
+// is guaranteed work while earlier arrivals are still busy, and a
+// worker whose lease expires loses only its in-flight shard — a
+// watcher cancels it and the cells re-enter the next round.
 //
 // The wire protocol is the worker daemon's POST /v1/cells endpoint (a
 // CellsRequest: shared sweep parameters plus one shard's explicit cell
@@ -23,16 +36,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
 	"whirlpool/internal/apiclient"
 	"whirlpool/internal/experiments"
+	"whirlpool/internal/fleet"
 )
 
 // shardRejectedError marks a deterministic worker-side rejection (HTTP
@@ -42,6 +55,12 @@ import (
 type shardRejectedError struct{ msg string }
 
 func (e *shardRejectedError) Error() string { return e.msg }
+
+// errLeaseLost is the cancel cause the membership watcher injects into
+// a running shard whose worker fell out of the alive set (lease expiry
+// or deregistration): unlike a job cancellation, the shard's cells
+// must be re-dispatched.
+var errLeaseLost = errors.New("worker lease lost")
 
 // errorRowFor fabricates the error row for a cell the fleet could not
 // compute.
@@ -73,81 +92,93 @@ type CellsRequest struct {
 	Cells []experiments.SweepCell `json:"cells"`
 }
 
-// Pool is one job's view of the worker fleet. Worker failures are
-// sticky for the lifetime of the Pool (one coordinator job): a daemon
-// that died mid-shard is not retried until the next job builds a fresh
-// Pool against the configured URLs.
-type Pool struct {
-	client *http.Client
-	logf   func(format string, args ...any)
-
-	mu      sync.Mutex
-	workers []*workerState
-}
-
-type workerState struct {
-	url  string
-	api  *apiclient.Client
-	dead bool
-
-	served, computed, errors, redispatched int
-}
-
 // Options configure a Pool.
 type Options struct {
 	// Client overrides the HTTP client (tests, timeouts). The default
 	// has no overall timeout: SSE streams live as long as the shard.
 	Client *http.Client
 	// Logf, if set, receives dispatch progress lines (worker deaths,
-	// re-dispatches).
+	// re-dispatches, rebalances).
 	Logf func(format string, args ...any)
+	// Quota bounds how many cells one member is assigned per round;
+	// nil means the member's effective capacity (its -parallel slots).
+	// Small quotas mean more rounds and therefore more chances for
+	// joiners to pick up work mid-job.
+	Quota func(fleet.Member) int
+	// WatchInterval is how often a running round re-checks membership
+	// for mid-shard lease expiry; 0 means 250ms.
+	WatchInterval time.Duration
 }
 
-// New builds a Pool over the given worker base URLs.
-func New(urls []string, opt Options) (*Pool, error) {
-	if len(urls) == 0 {
-		return nil, fmt.Errorf("dispatch: no worker URLs")
+// Pool is one job's view of the worker fleet. Worker deaths are sticky
+// per incarnation for the lifetime of the Pool (one coordinator job):
+// a worker that died mid-shard is not retried until it re-registers
+// under a new epoch — or, for static members, until the next job
+// builds a fresh Pool.
+type Pool struct {
+	membership fleet.Membership
+	client     *http.Client
+	logf       func(format string, args ...any)
+	quota      func(fleet.Member) int
+	watchEvery time.Duration
+
+	mu         sync.Mutex
+	apis       map[string]*apiclient.Client
+	stats      map[string]*workerStats
+	order      []string        // first-seen URL order, for Stats
+	deadKeys   map[string]bool // Member.Key() → died this job
+	rebalances int
+}
+
+type workerStats struct {
+	served, computed, errors, redispatched int
+	dead                                   bool
+}
+
+// NewPool builds a Pool routing over a live membership: each dispatch
+// round snapshots it, so workers joining or dying mid-job change the
+// very next round's assignment.
+func NewPool(m fleet.Membership, opt Options) (*Pool, error) {
+	if m == nil {
+		return nil, fmt.Errorf("dispatch: nil membership")
 	}
-	p := &Pool{client: opt.Client, logf: opt.Logf}
+	p := &Pool{
+		membership: m,
+		client:     opt.Client,
+		logf:       opt.Logf,
+		quota:      opt.Quota,
+		watchEvery: opt.WatchInterval,
+		apis:       map[string]*apiclient.Client{},
+		stats:      map[string]*workerStats{},
+		deadKeys:   map[string]bool{},
+	}
 	if p.client == nil {
 		p.client = &http.Client{}
 	}
 	if p.logf == nil {
 		p.logf = func(string, ...any) {}
 	}
-	seen := map[string]bool{}
-	for _, u := range urls {
-		if strings.TrimSpace(u) == "" {
-			continue
-		}
-		api, err := apiclient.New(u, p.client)
-		if err != nil {
-			return nil, fmt.Errorf("dispatch: worker %q: %v", u, err)
-		}
-		if seen[api.Base()] {
-			continue
-		}
-		seen[api.Base()] = true
-		p.workers = append(p.workers, &workerState{url: api.Base(), api: api})
+	if p.quota == nil {
+		p.quota = func(m fleet.Member) int { return m.EffectiveCapacity() }
 	}
-	if len(p.workers) == 0 {
-		return nil, fmt.Errorf("dispatch: no worker URLs")
+	if p.watchEvery <= 0 {
+		p.watchEvery = 250 * time.Millisecond
 	}
 	return p, nil
 }
 
-// ShardOf deterministically routes one cell onto [0, n): the cell's
-// content-address hashed with FNV-1a, falling back to the identity
-// triple for uncacheable cells. Pure function of (cell, n), so every
-// coordinator — and every retry — routes the same grid the same way.
-func ShardOf(c experiments.CellRef, n int) int {
-	s := c.Key
-	if s == "" {
-		s = c.Cell.App + "|" + c.Cell.Mix + "|" + c.Cell.Scheme
+// New builds a Pool over a fixed worker URL list (the -workers
+// back-compat path): membership is a static snapshot, so only the
+// per-job death tracking applies.
+func New(urls []string, opt Options) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, fmt.Errorf("dispatch: no worker URLs")
 	}
-	h := fnv.New64a()
-	h.Write([]byte(s))
-	return int(h.Sum64() % uint64(n))
+	m, err := fleet.Static(urls, 0)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %v", err)
+	}
+	return NewPool(m, opt)
 }
 
 // Exec returns a RemoteExec bound to one job's parameters, pluggable
@@ -158,121 +189,295 @@ func (p *Pool) Exec(params JobParams) experiments.RemoteExec {
 	}
 }
 
-// Stats snapshots the per-worker split for this Pool's job.
+// Stats snapshots the per-worker split for this Pool's job, in
+// first-contact order.
 func (p *Pool) Stats() []experiments.WorkerStats {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	out := make([]experiments.WorkerStats, len(p.workers))
-	for i, w := range p.workers {
-		out[i] = experiments.WorkerStats{
-			Worker: w.url, Served: w.served, Computed: w.computed,
+	out := make([]experiments.WorkerStats, 0, len(p.order))
+	for _, url := range p.order {
+		w := p.stats[url]
+		out = append(out, experiments.WorkerStats{
+			Worker: url, Served: w.served, Computed: w.computed,
 			Errors: w.errors, Redispatched: w.redispatched, Dead: w.dead,
-		}
+		})
 	}
 	return out
 }
 
-func (p *Pool) alive() []*workerState {
+// Rebalances counts the rounds that ran against a changed membership
+// (a join, death, or departure between rounds re-routed the pending
+// cells).
+func (p *Pool) Rebalances() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	var out []*workerState
-	for _, w := range p.workers {
-		if !w.dead {
-			out = append(out, w)
-		}
-	}
-	return out
+	return p.rebalances
 }
 
-// run dispatches cells until every one is delivered or no workers
-// survive. Each round shards the pending cells across the live workers;
-// a failed shard marks its worker dead and feeds its undelivered cells
-// into the next round.
+// statsForLocked returns the per-URL tally, creating it on first
+// contact. Callers hold p.mu.
+func (p *Pool) statsForLocked(url string) *workerStats {
+	w := p.stats[url]
+	if w == nil {
+		w = &workerStats{}
+		p.stats[url] = w
+		p.order = append(p.order, url)
+	}
+	return w
+}
+
+func (p *Pool) apiFor(m fleet.Member) (*apiclient.Client, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if api := p.apis[m.URL]; api != nil {
+		return api, nil
+	}
+	api, err := apiclient.New(m.URL, p.client)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: worker %q: %v", m.URL, err)
+	}
+	p.apis[m.URL] = api
+	return api, nil
+}
+
+// routeKey is the rendezvous key for one cell: its content-address,
+// falling back to the identity triple for uncacheable cells.
+func routeKey(c experiments.CellRef) string {
+	if c.Key != "" {
+		return c.Key
+	}
+	return identOf(c.Cell)
+}
+
+// shardAssign is one member's work for one round.
+type shardAssign struct {
+	member fleet.Member
+	cells  []experiments.CellRef
+}
+
+// assignRound routes pending cells (in grid order) onto the alive
+// members by weighted rendezvous rank, capping each member at its
+// round quota. Cells that find every ranked member full wait for the
+// next round — that deferral is what guarantees a mid-job joiner gets
+// cells. Deterministic given (alive, pending).
+func (p *Pool) assignRound(alive []fleet.Member, pending []experiments.CellRef) (shards []shardAssign, deferred []experiments.CellRef) {
+	snap := fleet.Snapshot{Members: alive}
+	byID := map[string]int{} // member ID → index in shards
+	for _, c := range pending {
+		placed := false
+		for _, m := range fleet.Rank(snap, routeKey(c)) {
+			q := p.quota(m)
+			if q < 1 {
+				q = 1
+			}
+			i, ok := byID[m.ID]
+			if !ok {
+				i = len(shards)
+				byID[m.ID] = i
+				shards = append(shards, shardAssign{member: m})
+			}
+			if len(shards[i].cells) >= q {
+				continue
+			}
+			shards[i].cells = append(shards[i].cells, c)
+			placed = true
+			break
+		}
+		if !placed {
+			deferred = append(deferred, c)
+		}
+	}
+	out := shards[:0]
+	for _, s := range shards {
+		if len(s.cells) > 0 {
+			out = append(out, s)
+		}
+	}
+	return out, deferred
+}
+
+// run dispatches cells in rounds until every one is delivered or no
+// workers survive. Each round snapshots the membership, assigns the
+// pending cells up to per-member quotas, and runs the shards in
+// parallel under a lease watcher; a failed shard marks its worker
+// incarnation dead and feeds its undelivered cells — plus any cells
+// deferred past the round's quotas — into the next round.
 func (p *Pool) run(ctx context.Context, params JobParams, cells []experiments.CellRef, deliver func(experiments.CellRef, experiments.SweepRow)) error {
 	pending := cells
+	var lastVer uint64
+	ran := false
 	for len(pending) > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		alive := p.alive()
-		if len(alive) == 0 {
-			return fmt.Errorf("all %d workers failed with %d cells undelivered", len(p.workers), len(pending))
-		}
-		shards := make([][]experiments.CellRef, len(alive))
-		for _, c := range pending {
-			s := ShardOf(c, len(alive))
-			shards[s] = append(shards[s], c)
-		}
-		var wg sync.WaitGroup
-		var mu sync.Mutex
-		var next []experiments.CellRef
-		type death struct {
-			w *workerState
-			n int
-		}
-		var deaths []death
-		for si := range shards {
-			if len(shards[si]) == 0 {
-				continue
+		snap := p.membership.Snapshot()
+		var alive []fleet.Member
+		p.mu.Lock()
+		for _, m := range snap.Members {
+			if !p.deadKeys[m.Key()] {
+				alive = append(alive, m)
+				p.statsForLocked(m.URL).dead = false
 			}
-			wg.Add(1)
-			go func(w *workerState, shard []experiments.CellRef) {
-				defer wg.Done()
-				undone, err := p.runShard(ctx, w, params, shard, deliver)
-				if err == nil || ctx.Err() != nil {
-					return
-				}
-				var rej *shardRejectedError
-				if errors.As(err, &rej) {
-					// Deterministic rejection: the cells are poison for
-					// every worker, so fail them here instead of killing
-					// the fleet one healthy worker at a time.
-					p.logf("dispatch: worker %s rejected its shard (%v); failing %d cells",
-						w.url, err, len(undone))
-					p.mu.Lock()
-					w.errors += len(undone)
-					p.mu.Unlock()
-					for _, c := range undone {
-						deliver(c, errorRowFor(c, err.Error()))
-					}
-					return
-				}
-				p.mu.Lock()
-				w.dead = true
-				p.mu.Unlock()
-				p.logf("dispatch: worker %s failed (%v) with %d of its %d cells undelivered",
-					w.url, err, len(undone), len(shard))
-				mu.Lock()
-				next = append(next, undone...)
-				deaths = append(deaths, death{w, len(undone)})
-				mu.Unlock()
-			}(alive[si], shards[si])
 		}
-		wg.Wait()
+		total := len(p.order)
+		p.mu.Unlock()
+		if len(alive) == 0 {
+			return fmt.Errorf("all %d workers failed with %d cells undelivered", total, len(pending))
+		}
+		if ran && snap.Version != lastVer {
+			p.mu.Lock()
+			p.rebalances++
+			p.mu.Unlock()
+			p.logf("dispatch: membership changed; rebalancing %d pending cells over %d workers",
+				len(pending), len(alive))
+		}
+		ran, lastVer = true, snap.Version
+
+		shards, deferred := p.assignRound(alive, pending)
+		next := p.runRound(ctx, params, shards, deliver)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// Redispatched counts cells actually moved to survivors: with no
 		// one left, the undelivered cells become error rows instead.
-		if len(next) > 0 && len(p.alive()) > 0 {
-			p.mu.Lock()
-			for _, d := range deaths {
-				d.w.redispatched += d.n
-			}
-			p.mu.Unlock()
-		}
-		// Grid order keeps re-dispatch rounds deterministic.
+		next = append(next, deferred...)
 		sort.Slice(next, func(i, j int) bool { return next[i].Index < next[j].Index })
 		pending = next
 	}
 	return ctx.Err()
 }
 
+// runRound executes one round's shards in parallel, watching
+// membership for mid-shard lease expiry, and returns the cells that
+// must re-dispatch (from workers that died this round).
+func (p *Pool) runRound(ctx context.Context, params JobParams, shards []shardAssign, deliver func(experiments.CellRef, experiments.SweepRow)) []experiments.CellRef {
+	type running struct {
+		member fleet.Member
+		cancel context.CancelCauseFunc
+	}
+	live := make([]running, len(shards))
+	ctxs := make([]context.Context, len(shards))
+	for i := range shards {
+		shardCtx, cancel := context.WithCancelCause(ctx)
+		ctxs[i] = shardCtx
+		live[i] = running{member: shards[i].member, cancel: cancel}
+		defer cancel(nil)
+	}
+
+	// Lease watcher: while the round runs, a member that falls out of
+	// the alive set gets its shard canceled with errLeaseLost so its
+	// cells re-enter the next round immediately instead of waiting for
+	// a TCP timeout. Static members hold no lease and are skipped.
+	watchStop := make(chan struct{})
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		t := time.NewTicker(p.watchEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-watchStop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			aliveKeys := map[string]bool{}
+			for _, m := range p.membership.Snapshot().Members {
+				aliveKeys[m.Key()] = true
+			}
+			for _, r := range live {
+				if !r.member.Static && !aliveKeys[r.member.Key()] {
+					r.cancel(errLeaseLost)
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var next []experiments.CellRef
+	type death struct {
+		url string
+		n   int
+	}
+	var deaths []death
+	for i := range shards {
+		wg.Add(1)
+		go func(shardCtx context.Context, m fleet.Member, shard []experiments.CellRef) {
+			defer wg.Done()
+			undone, err := p.runShard(ctx, shardCtx, m, params, shard, deliver)
+			if err == nil || ctx.Err() != nil {
+				return
+			}
+			var rej *shardRejectedError
+			if errors.As(err, &rej) {
+				// Deterministic rejection: the cells are poison for
+				// every worker, so fail them here instead of killing
+				// the fleet one healthy worker at a time.
+				p.logf("dispatch: worker %s rejected its shard (%v); failing %d cells",
+					m.URL, err, len(undone))
+				p.mu.Lock()
+				p.statsForLocked(m.URL).errors += len(undone)
+				p.mu.Unlock()
+				for _, c := range undone {
+					deliver(c, errorRowFor(c, err.Error()))
+				}
+				return
+			}
+			p.mu.Lock()
+			p.deadKeys[m.Key()] = true
+			p.statsForLocked(m.URL).dead = true
+			p.mu.Unlock()
+			p.logf("dispatch: worker %s failed (%v) with %d of its %d cells undelivered",
+				m.URL, err, len(undone), len(shard))
+			mu.Lock()
+			next = append(next, undone...)
+			deaths = append(deaths, death{m.URL, len(undone)})
+			mu.Unlock()
+		}(ctxs[i], shards[i].member, shards[i].cells)
+	}
+	wg.Wait()
+	close(watchStop)
+	<-watchDone
+
+	if len(next) > 0 && p.anySurvivors() {
+		p.mu.Lock()
+		for _, d := range deaths {
+			p.statsForLocked(d.url).redispatched += d.n
+		}
+		p.mu.Unlock()
+	}
+	return next
+}
+
+// anySurvivors reports whether the current membership still holds a
+// member this job hasn't declared dead.
+func (p *Pool) anySurvivors() bool {
+	snap := p.membership.Snapshot()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, m := range snap.Members {
+		if !p.deadKeys[m.Key()] {
+			return true
+		}
+	}
+	return false
+}
+
 // runShard runs one worker's shard: submit the cells, follow the job's
 // SSE stream, and deliver each row into the coordinator's grid. It
 // returns the cells that were not delivered (for re-dispatch) and a
 // non-nil error when the worker must be considered dead: connection
-// failures, a stream that ends without its done event, or a worker job
-// that finished canceled/failed (worker shutdown cancels its jobs).
+// failures, a stream that ends without its done event, a worker job
+// that finished canceled/failed (worker shutdown cancels its jobs), or
+// a lease lost mid-shard (shardCtx canceled by the round's watcher).
 // Canceled rows are never delivered — those cells belong to a survivor.
-func (p *Pool) runShard(ctx context.Context, w *workerState, params JobParams, shard []experiments.CellRef, deliver func(experiments.CellRef, experiments.SweepRow)) (undelivered []experiments.CellRef, err error) {
+func (p *Pool) runShard(jobCtx, shardCtx context.Context, m fleet.Member, params JobParams, shard []experiments.CellRef, deliver func(experiments.CellRef, experiments.SweepRow)) (undelivered []experiments.CellRef, err error) {
+	api, err := p.apiFor(m)
+	if err != nil {
+		return shard, err
+	}
 	// Route returned rows by key first, then by identity triple (keys
 	// are recomputed worker-side and can be empty for uncacheable
 	// cells; identities are unique within one job's grid).
@@ -319,21 +524,40 @@ func (p *Pool) runShard(ctx context.Context, w *workerState, params JobParams, s
 		}
 		return out
 	}
+	// leaseLost distinguishes the watcher's cancellation (the worker's
+	// lease expired → death, re-dispatch) from a job cancellation
+	// (quiet abort).
+	leaseLost := func() bool {
+		return errors.Is(context.Cause(shardCtx), errLeaseLost)
+	}
 
-	id, err := p.submitCells(ctx, w, &req)
+	id, err := p.submitCells(shardCtx, api, &req)
 	if err != nil {
+		if jobCtx.Err() != nil {
+			return shard, nil
+		}
+		if leaseLost() {
+			return shard, fmt.Errorf("lease lost before shard submit: %w", errLeaseLost)
+		}
 		return shard, err
 	}
 	// Whatever happens below, don't leave the worker simulating cells
-	// nobody is waiting for (coordinator canceled, stream died).
+	// nobody is waiting for (coordinator canceled, stream died, lease
+	// lost while the worker itself is still up).
 	defer func() {
-		if err != nil || ctx.Err() != nil {
-			p.cancelJob(w, id)
+		if err != nil || shardCtx.Err() != nil {
+			p.cancelJob(api, id)
 		}
 	}()
 
-	stream, err := w.api.Stream(ctx, "/v1/jobs/"+id+"/stream")
+	stream, err := api.Stream(shardCtx, "/v1/jobs/"+id+"/stream")
 	if err != nil {
+		if jobCtx.Err() != nil {
+			return shard, nil
+		}
+		if leaseLost() {
+			return shard, fmt.Errorf("lease lost opening shard stream: %w", errLeaseLost)
+		}
 		return shard, fmt.Errorf("stream: %w", err)
 	}
 	defer stream.Close()
@@ -348,10 +572,13 @@ func (p *Pool) runShard(ctx context.Context, w *workerState, params JobParams, s
 			// demonstrably delivered as computed so the per-worker stats
 			// still roughly sum to the grid.
 			p.mu.Lock()
-			w.computed += deliveredN
+			p.statsForLocked(m.URL).computed += deliveredN
 			p.mu.Unlock()
-			if ctx.Err() != nil {
+			if jobCtx.Err() != nil {
 				return leftover(), nil
+			}
+			if leaseLost() {
+				return leftover(), fmt.Errorf("lease expired mid-shard: %w", errLeaseLost)
 			}
 			if nextErr == io.EOF {
 				nextErr = nil
@@ -374,11 +601,11 @@ func (p *Pool) runShard(ctx context.Context, w *workerState, params JobParams, s
 			if keyMismatch {
 				row = errorRowFor(ref, fmt.Sprintf(
 					"key mismatch: worker %s computed %s for a cell addressed %s — differing inputs (stale trace file?); row rejected",
-					w.url, row.Key, ref.Key))
+					m.URL, row.Key, ref.Key))
 			}
 			if row.Err != "" {
 				p.mu.Lock()
-				w.errors++
+				p.statsForLocked(m.URL).errors++
 				p.mu.Unlock()
 			}
 			deliveredN++
@@ -392,6 +619,7 @@ func (p *Pool) runShard(ctx context.Context, w *workerState, params JobParams, s
 			if json.Unmarshal(ev.Data, &st) == nil {
 				doneState = st.State
 				p.mu.Lock()
+				w := p.statsForLocked(m.URL)
 				w.served += st.Served
 				w.computed += st.Computed
 				p.mu.Unlock()
@@ -420,20 +648,23 @@ const (
 // back-pressure (apiclient.Error.Temporary: a 429 shed or a 503
 // queue-full/drain) is retried with backoff — honoring the server's
 // Retry-After hint when it gives one — so a briefly saturated worker
-// keeps its shard.
-func (p *Pool) submitCells(ctx context.Context, w *workerState, req *CellsRequest) (string, error) {
+// keeps its shard. The delay is jittered to ±50% so shards rebuffed
+// by the same saturated worker at the same moment don't resubmit in
+// lockstep and collide again.
+func (p *Pool) submitCells(ctx context.Context, api *apiclient.Client, req *CellsRequest) (string, error) {
 	for attempt := 0; ; attempt++ {
-		id, retryAfter, retryable, err := p.trySubmitCells(ctx, w, req)
+		id, retryAfter, retryable, err := p.trySubmitCells(ctx, api, req)
 		if err == nil {
 			return id, nil
 		}
 		if !retryable || attempt >= submitRetries {
 			return "", err
 		}
-		delay := submitBackoff * time.Duration(attempt+1)
+		base := submitBackoff * time.Duration(attempt+1)
 		if retryAfter > 0 {
-			delay = retryAfter
+			base = retryAfter
 		}
+		delay := base/2 + rand.N(base)
 		select {
 		case <-ctx.Done():
 			return "", ctx.Err()
@@ -442,11 +673,11 @@ func (p *Pool) submitCells(ctx context.Context, w *workerState, req *CellsReques
 	}
 }
 
-func (p *Pool) trySubmitCells(ctx context.Context, w *workerState, req *CellsRequest) (id string, retryAfter time.Duration, retryable bool, err error) {
+func (p *Pool) trySubmitCells(ctx context.Context, api *apiclient.Client, req *CellsRequest) (id string, retryAfter time.Duration, retryable bool, err error) {
 	var out struct {
 		ID string `json:"id"`
 	}
-	if err := w.api.PostJSON(ctx, "/v1/cells", req, &out); err != nil {
+	if err := api.PostJSON(ctx, "/v1/cells", req, &out); err != nil {
 		var ae *apiclient.Error
 		if !errors.As(err, &ae) {
 			// Transport failure (refused, reset, timeout): the worker is
@@ -469,8 +700,8 @@ func (p *Pool) trySubmitCells(ctx context.Context, w *workerState, req *CellsReq
 // cancelJob best-effort DELETEs a worker job (the coordinator is gone
 // or no longer listening). It deliberately ignores the caller's
 // context, which is typically already canceled.
-func (p *Pool) cancelJob(w *workerState, id string) {
+func (p *Pool) cancelJob(api *apiclient.Client, id string) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	_ = w.api.Delete(ctx, "/v1/jobs/"+id, nil)
+	_ = api.Delete(ctx, "/v1/jobs/"+id, nil)
 }

@@ -6,13 +6,13 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
-	"sort"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"whirlpool/internal/experiments"
+	"whirlpool/internal/fleet"
 )
 
 func refs(n int) []experiments.CellRef {
@@ -27,36 +27,10 @@ func refs(n int) []experiments.CellRef {
 	return out
 }
 
-// ShardOf must be a pure function of (cell, n): same inputs, same
-// shard, every time, and always in range.
-func TestShardOfDeterministic(t *testing.T) {
-	cells := refs(64)
-	for _, n := range []int{1, 2, 3, 7} {
-		counts := make([]int, n)
-		for _, c := range cells {
-			s := ShardOf(c, n)
-			if s < 0 || s >= n {
-				t.Fatalf("ShardOf(%q, %d) = %d out of range", c.Key, n, s)
-			}
-			if again := ShardOf(c, n); again != s {
-				t.Fatalf("ShardOf not deterministic: %d then %d", s, again)
-			}
-			counts[s]++
-		}
-		if n > 1 {
-			for s, c := range counts {
-				if c == 0 {
-					t.Errorf("n=%d: shard %d got no cells of %d (suspicious hash)", n, s, len(cells))
-				}
-			}
-		}
-	}
-	// Keyless cells fall back to the identity triple, still deterministic.
-	c := experiments.CellRef{Cell: experiments.SweepCell{App: "a", Scheme: "s"}}
-	if ShardOf(c, 5) != ShardOf(c, 5) {
-		t.Fatal("keyless ShardOf not deterministic")
-	}
-}
+// bigQuota removes the per-round cap, collapsing dispatch to one round
+// per fleet generation — the closest shape to pre-fleet behavior, used
+// by tests that only care about failure handling.
+func bigQuota(fleet.Member) int { return 1 << 20 }
 
 // fakeWorker speaks just enough of the whirld protocol to be dispatched
 // to: POST /v1/cells accepts a shard, the SSE stream fabricates one row
@@ -136,6 +110,15 @@ func (f *fakeWorker) handleStream(w http.ResponseWriter, r *http.Request) {
 // fingerprint delivered each cell index.
 func collectDelivery(t *testing.T, p *Pool, cells []experiments.CellRef) map[int]uint64 {
 	t.Helper()
+	got, err := collectDeliveryErr(t, p, cells, nil)
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	return got
+}
+
+func collectDeliveryErr(t *testing.T, p *Pool, cells []experiments.CellRef, onRow func(experiments.CellRef, experiments.SweepRow)) (map[int]uint64, error) {
+	t.Helper()
 	got := map[int]uint64{}
 	var mu sync.Mutex
 	err := p.Exec(JobParams{Scale: 0.05})(context.Background(), cells,
@@ -146,40 +129,52 @@ func collectDelivery(t *testing.T, p *Pool, cells []experiments.CellRef) map[int
 			}
 			got[ref.Index] = row.Cycles
 			mu.Unlock()
+			if onRow != nil {
+				onRow(ref, row)
+			}
 		})
-	if err != nil {
-		t.Fatalf("Exec: %v", err)
-	}
-	return got
+	return got, err
 }
 
-// Two healthy workers split the grid deterministically and deliver
-// every cell exactly once.
+// Two healthy workers split the grid and deliver every cell exactly
+// once; with the same membership, a second job routes identically —
+// the determinism the distributed bit-identity smoke rests on.
 func TestPoolDispatchesAllCells(t *testing.T) {
 	_, ts1 := newFakeWorker(t, 111, -1)
 	_, ts2 := newFakeWorker(t, 222, -1)
 	cells := refs(20)
-	p, err := New([]string{ts1.URL, ts2.URL}, Options{})
+	urls := []string{ts1.URL, ts2.URL}
+	p1, err := New(urls, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := collectDelivery(t, p, cells)
-	if len(got) != len(cells) {
-		t.Fatalf("delivered %d of %d cells", len(got), len(cells))
+	got1 := collectDelivery(t, p1, cells)
+	if len(got1) != len(cells) {
+		t.Fatalf("delivered %d of %d cells", len(got1), len(cells))
 	}
-	// Delivery matches the routing function exactly.
-	for _, c := range cells {
-		wantFP := uint64(111)
-		if ShardOf(c, 2) == 1 {
-			wantFP = 222
-		}
-		if got[c.Index] != wantFP {
-			t.Errorf("cell %d delivered by %d, routing says %d", c.Index, got[c.Index], wantFP)
-		}
+	split := map[uint64]int{}
+	for _, fp := range got1 {
+		split[fp]++
 	}
-	for _, ws := range p.Stats() {
+	if split[111] == 0 || split[222] == 0 {
+		t.Fatalf("one worker got the whole grid: %v", split)
+	}
+	for _, ws := range p1.Stats() {
 		if ws.Dead || ws.Computed == 0 {
 			t.Errorf("healthy fleet stats: %+v", ws)
+		}
+	}
+	// A fresh pool over the same worker list routes every cell to the
+	// same worker (member IDs follow registration order, so the
+	// assignment is a pure function of the membership and the keys).
+	p2, err := New(urls, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := collectDelivery(t, p2, cells)
+	for i := range got1 {
+		if got1[i] != got2[i] {
+			t.Fatalf("cell %d routed to %d then %d with identical membership", i, got1[i], got2[i])
 		}
 	}
 }
@@ -191,24 +186,20 @@ func TestPoolRedispatchOnWorkerDeath(t *testing.T) {
 	_, healthy := newFakeWorker(t, 111, -1)
 	dying, dyingTS := newFakeWorker(t, 666, 2) // delivers 2 rows, then drops
 	cells := refs(24)
-	p, err := New([]string{healthy.URL, dyingTS.URL}, Options{})
+	p, err := New([]string{healthy.URL, dyingTS.URL}, Options{Quota: bigQuota})
 	if err != nil {
 		t.Fatal(err)
 	}
+	var mu sync.Mutex
 	var logged []string
-	p.logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	p.logf = func(format string, args ...any) {
+		mu.Lock()
+		logged = append(logged, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
 	got := collectDelivery(t, p, cells)
 	if len(got) != len(cells) {
 		t.Fatalf("delivered %d of %d cells after worker death", len(got), len(cells))
-	}
-	var dyingShard int
-	for _, c := range cells {
-		if ShardOf(c, 2) == 1 {
-			dyingShard++
-		}
-	}
-	if dyingShard < 3 {
-		t.Fatalf("test needs the dying worker to get >2 cells, got %d", dyingShard)
 	}
 	survived, died := 0, 0
 	for _, fp := range got {
@@ -222,15 +213,18 @@ func TestPoolRedispatchOnWorkerDeath(t *testing.T) {
 	if died != 2 || survived != len(cells)-2 {
 		t.Fatalf("delivery split = %d from dying + %d from survivor, want 2 + %d", died, survived, len(cells)-2)
 	}
-	stats := p.Stats()
-	sort.Slice(stats, func(i, j int) bool { return stats[i].Worker < stats[j].Worker })
 	var deadStats, aliveStats *experiments.WorkerStats
+	stats := p.Stats()
 	for i := range stats {
 		if stats[i].Worker == dyingTS.URL {
 			deadStats = &stats[i]
 		} else {
 			aliveStats = &stats[i]
 		}
+	}
+	dyingShard := dying.submitted // its one and only shard
+	if dyingShard < 3 {
+		t.Fatalf("test needs the dying worker to get >2 cells, got %d", dyingShard)
 	}
 	if deadStats == nil || !deadStats.Dead || deadStats.Redispatched != dyingShard-2 {
 		t.Errorf("dead worker stats = %+v, want Dead with %d redispatched", deadStats, dyingShard-2)
@@ -256,7 +250,7 @@ func TestPoolRedispatchOnWorkerDeath(t *testing.T) {
 func TestPoolAllWorkersDead(t *testing.T) {
 	_, ts1 := newFakeWorker(t, 1, 0)
 	_, ts2 := newFakeWorker(t, 2, 0)
-	p, err := New([]string{ts1.URL, ts2.URL}, Options{})
+	p, err := New([]string{ts1.URL, ts2.URL}, Options{Quota: bigQuota})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,13 +263,147 @@ func TestPoolAllWorkersDead(t *testing.T) {
 		if !ws.Dead {
 			t.Errorf("worker %s not marked dead", ws.Worker)
 		}
-	}
-	// Nothing was moved to a survivor (there were none), so nothing
-	// counts as redispatched — the cells became error rows instead.
-	for _, ws := range p.Stats() {
+		// Nothing was moved to a survivor (there were none), so nothing
+		// counts as redispatched — the cells became error rows instead.
 		if ws.Redispatched != 0 {
 			t.Errorf("redispatched counted with no survivors to take the cells: %+v", ws)
 		}
+	}
+}
+
+// A worker that registers with the fleet mid-job starts receiving
+// cells in the very next round: per-round quotas leave pending cells
+// for it to claim, so a sweep started on one worker finishes on two.
+func TestPoolMidJobJoin(t *testing.T) {
+	_, ts1 := newFakeWorker(t, 111, -1)
+	_, ts2 := newFakeWorker(t, 222, -1)
+	reg := fleet.NewRegistry(fleet.RegistryOptions{})
+	if _, _, err := reg.Register(ts1.URL, 1); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(reg, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := refs(8)
+	var joinOnce sync.Once
+	got, execErr := collectDeliveryErr(t, p, cells, func(experiments.CellRef, experiments.SweepRow) {
+		joinOnce.Do(func() {
+			if _, _, err := reg.Register(ts2.URL, 1); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	if execErr != nil {
+		t.Fatalf("Exec: %v", execErr)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("delivered %d of %d", len(got), len(cells))
+	}
+	joined := 0
+	for _, fp := range got {
+		if fp == 222 {
+			joined++
+		}
+	}
+	// Capacity 1 each → round size ≤ 2 once both are in; with 8 cells
+	// and the join after the first delivery, the joiner is guaranteed
+	// work (pending exceeds the fleet's per-round appetite until the
+	// final rounds).
+	if joined == 0 {
+		t.Fatal("mid-job joiner received no cells")
+	}
+	if p.Rebalances() == 0 {
+		t.Fatal("membership change mid-job not counted as a rebalance")
+	}
+}
+
+// A worker whose lease expires mid-shard gets its shard canceled by
+// the watcher and the undelivered cells re-dispatch — without waiting
+// for a TCP failure, because the worker may still be reachable.
+func TestPoolLeaseLossMidShard(t *testing.T) {
+	// stall streams one row then parks until the connection dies.
+	var stallJobs sync.Map
+	var seq int
+	var mu sync.Mutex
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
+		var req CellsRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		mu.Lock()
+		seq++
+		id := fmt.Sprintf("j%d", seq)
+		mu.Unlock()
+		stallJobs.Store(id, req.Cells)
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{"id": id})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		v, _ := stallJobs.Load(r.PathValue("id"))
+		cells := v.([]experiments.SweepCell)
+		w.Header().Set("Content-Type", "text/event-stream")
+		fl := w.(http.Flusher)
+		if len(cells) > 0 {
+			c := cells[0]
+			data, _ := json.Marshal(experiments.SweepRow{App: c.App, Scheme: c.Scheme, Cycles: 666})
+			fmt.Fprintf(w, "event: row\ndata: %s\n\n", data)
+		}
+		fl.Flush()
+		<-r.Context().Done()
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) { w.WriteHeader(200) })
+	stall := httptest.NewServer(mux)
+	t.Cleanup(stall.Close)
+	_, healthy := newFakeWorker(t, 111, -1)
+
+	reg := fleet.NewRegistry(fleet.RegistryOptions{})
+	stallM, _, err := reg.Register(stall.URL, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := reg.Register(healthy.URL, 2); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool(reg, Options{WatchInterval: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := refs(8)
+	var dropOnce sync.Once
+	got, execErr := collectDeliveryErr(t, p, cells, func(_ experiments.CellRef, row experiments.SweepRow) {
+		if row.Cycles == 666 {
+			// The stalled worker's lease dies out from under its shard.
+			dropOnce.Do(func() {
+				if err := reg.Deregister(stallM.ID); err != nil {
+					t.Error(err)
+				}
+			})
+		}
+	})
+	if execErr != nil {
+		t.Fatalf("Exec: %v", execErr)
+	}
+	if len(got) != len(cells) {
+		t.Fatalf("delivered %d of %d after lease loss", len(got), len(cells))
+	}
+	fromStalled := 0
+	for _, fp := range got {
+		if fp == 666 {
+			fromStalled++
+		}
+	}
+	if fromStalled != 1 {
+		t.Fatalf("stalled worker delivered %d rows, want exactly its pre-expiry 1", fromStalled)
+	}
+	var stallStats *experiments.WorkerStats
+	stats := p.Stats()
+	for i := range stats {
+		if stats[i].Worker == stall.URL {
+			stallStats = &stats[i]
+		}
+	}
+	if stallStats == nil || !stallStats.Dead || stallStats.Redispatched == 0 {
+		t.Fatalf("lease-lost worker stats = %+v, want dead with redispatched cells", stallStats)
 	}
 }
 
@@ -285,12 +413,15 @@ func TestPoolCanceledRowsRedispatch(t *testing.T) {
 	// A worker whose rows all come back canceled, then a canceled done.
 	mux := http.NewServeMux()
 	var jobs sync.Map
+	var mu sync.Mutex
 	seq := 0
 	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
 		var req CellsRequest
 		json.NewDecoder(r.Body).Decode(&req)
+		mu.Lock()
 		seq++
 		id := fmt.Sprintf("j%d", seq)
+		mu.Unlock()
 		jobs.Store(id, req.Cells)
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]any{"id": id})
@@ -433,12 +564,15 @@ func TestPoolShardRejectionDoesNotKillFleet(t *testing.T) {
 func TestPoolKeyMismatchRejected(t *testing.T) {
 	mux := http.NewServeMux()
 	var jobs sync.Map
+	var mu sync.Mutex
 	seq := 0
 	mux.HandleFunc("POST /v1/cells", func(w http.ResponseWriter, r *http.Request) {
 		var req CellsRequest
 		json.NewDecoder(r.Body).Decode(&req)
+		mu.Lock()
 		seq++
 		id := fmt.Sprintf("j%d", seq)
+		mu.Unlock()
 		jobs.Store(id, req.Cells)
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]any{"id": id})
@@ -466,12 +600,12 @@ func TestPoolKeyMismatchRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := map[int]experiments.SweepRow{}
-	var mu sync.Mutex
+	var mu2 sync.Mutex
 	execErr := p.Exec(JobParams{})(context.Background(), cells,
 		func(ref experiments.CellRef, row experiments.SweepRow) {
-			mu.Lock()
+			mu2.Lock()
 			got[ref.Index] = row
-			mu.Unlock()
+			mu2.Unlock()
 		})
 	if execErr != nil {
 		t.Fatalf("Exec: %v", execErr)
@@ -490,7 +624,7 @@ func TestPoolKeyMismatchRejected(t *testing.T) {
 }
 
 // A 503 on shard submit is back-pressure, not death: the pool retries
-// with backoff and the worker keeps its shard.
+// with (jittered) backoff and the worker keeps its shard.
 func TestPoolRetriesSubmit503(t *testing.T) {
 	inner, _ := newFakeWorker(t, 111, -1)
 	var rejects int
@@ -543,11 +677,14 @@ func TestPoolNew(t *testing.T) {
 	if _, err := New([]string{"", "  "}, Options{}); err == nil {
 		t.Fatal("New accepted blank URLs")
 	}
+	if _, err := NewPool(nil, Options{}); err == nil {
+		t.Fatal("NewPool accepted a nil membership")
+	}
 	p, err := New([]string{"http://a", "http://a/", "http://b"}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(p.workers) != 2 {
-		t.Fatalf("dedup left %d workers, want 2", len(p.workers))
+	if n := len(p.membership.Snapshot().Members); n != 2 {
+		t.Fatalf("dedup left %d workers, want 2", n)
 	}
 }

@@ -1,0 +1,208 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"sync"
+	"time"
+
+	"whirlpool/internal/apiclient"
+)
+
+// registerRequest / registerResponse / heartbeatRequest /
+// heartbeatResponse are the wire shapes of the /v1/workers protocol,
+// shared by Agent and the server handlers.
+type registerRequest struct {
+	URL      string `json:"url"`
+	Capacity int    `json:"capacity"`
+}
+
+type registerResponse struct {
+	ID          string  `json:"id"`
+	Epoch       int     `json:"epoch"`
+	LeaseTTLS   float64 `json:"lease_ttl_s"`
+	HeartbeatS  float64 `json:"heartbeat_s"`
+	Coordinator string  `json:"coordinator,omitempty"`
+}
+
+type heartbeatRequest struct {
+	Epoch int  `json:"epoch"`
+	Load  Load `json:"load"`
+}
+
+type heartbeatResponse struct {
+	LeaseTTLS float64 `json:"lease_ttl_s"`
+}
+
+// AgentOptions configure a worker's join loop.
+type AgentOptions struct {
+	// Coordinator is the coordinator's base URL (whirld -join).
+	Coordinator string
+	// Advertise is this worker's own base URL, as the coordinator
+	// should dial it.
+	Advertise string
+	// Capacity is the worker's parallel simulation slots (-parallel).
+	Capacity int
+	// Load supplies the load sample sent with each heartbeat; nil
+	// sends zeros.
+	Load func() Load
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+	// Logf, if set, receives join/lease events.
+	Logf func(format string, args ...any)
+}
+
+// Agent is the worker side of the fleet protocol: it registers with
+// the coordinator, heartbeats at a third of the lease TTL (with ±20%
+// jitter so a fleet started together doesn't beat in lockstep), and
+// re-registers whenever the coordinator no longer recognizes the lease
+// — a coordinator restart or an expiry during a network hiccup heals
+// without operator action. Close deregisters gracefully.
+type Agent struct {
+	api    *apiclient.Client
+	opt    AgentOptions
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu    sync.Mutex
+	id    string
+	epoch int
+}
+
+// StartAgent validates options, performs no blocking I/O, and starts
+// the join loop in the background; registration failures are retried
+// with backoff until Close.
+func StartAgent(opt AgentOptions) (*Agent, error) {
+	if _, err := NormalizeURL(opt.Advertise); err != nil {
+		return nil, err
+	}
+	api, err := apiclient.New(opt.Coordinator, opt.Client)
+	if err != nil {
+		return nil, err
+	}
+	if opt.Logf == nil {
+		opt.Logf = func(string, ...any) {}
+	}
+	if opt.Load == nil {
+		opt.Load = func() Load { return Load{} }
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Agent{api: api, opt: opt, cancel: cancel, done: make(chan struct{})}
+	go a.run(ctx)
+	return a, nil
+}
+
+// Close stops the heartbeat loop and deregisters from the coordinator
+// (best-effort: a dead coordinator just lets the lease lapse).
+func (a *Agent) Close() {
+	a.cancel()
+	<-a.done
+	a.mu.Lock()
+	id := a.id
+	a.mu.Unlock()
+	if id == "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = a.api.Delete(ctx, "/v1/workers/"+id, nil)
+}
+
+// Identity returns the agent's current member identity ("" before the
+// first successful registration).
+func (a *Agent) Identity() (id string, epoch int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.id, a.epoch
+}
+
+func (a *Agent) run(ctx context.Context) {
+	defer close(a.done)
+	const maxBackoff = 5 * time.Second
+	backoff := 250 * time.Millisecond
+	for ctx.Err() == nil {
+		reg, err := a.register(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			a.opt.Logf("fleet: registering with %s failed (%v); retrying in %s",
+				a.api.Base(), err, backoff)
+			if !sleep(ctx, backoff) {
+				return
+			}
+			backoff = min(backoff*2, maxBackoff)
+			continue
+		}
+		backoff = 250 * time.Millisecond
+		a.opt.Logf("fleet: joined %s as %s (lease %.1fs, heartbeating every %.1fs)",
+			a.api.Base(), reg.ID, reg.LeaseTTLS, reg.HeartbeatS)
+		a.heartbeatLoop(ctx, reg)
+	}
+}
+
+func (a *Agent) register(ctx context.Context) (registerResponse, error) {
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	var resp registerResponse
+	err := a.api.PostJSON(rctx, "/v1/workers", registerRequest{
+		URL: a.opt.Advertise, Capacity: a.opt.Capacity,
+	}, &resp)
+	if err != nil {
+		return registerResponse{}, err
+	}
+	a.mu.Lock()
+	a.id, a.epoch = resp.ID, resp.Epoch
+	a.mu.Unlock()
+	return resp, nil
+}
+
+// heartbeatLoop renews the lease until the coordinator forgets it
+// (→ return, caller re-registers) or ctx is canceled. Transport
+// errors are retried on the normal cadence: the lease is TTL and the
+// beat TTL/3, so two consecutive failures still leave headroom.
+func (a *Agent) heartbeatLoop(ctx context.Context, reg registerResponse) {
+	interval := time.Duration(reg.HeartbeatS * float64(time.Second))
+	if interval <= 0 {
+		interval = DefaultLeaseTTL / 3
+	}
+	for {
+		d := interval + time.Duration((rand.Float64()-0.5)*0.4*float64(interval))
+		if !sleep(ctx, d) {
+			return
+		}
+		hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		var resp heartbeatResponse
+		err := a.api.PostJSON(hctx, "/v1/workers/"+reg.ID+"/heartbeat",
+			heartbeatRequest{Epoch: reg.Epoch, Load: a.opt.Load()}, &resp)
+		cancel()
+		if err == nil {
+			continue
+		}
+		if ctx.Err() != nil {
+			return
+		}
+		var ae *apiclient.Error
+		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
+			a.opt.Logf("fleet: lease for %s gone at the coordinator; re-registering", reg.ID)
+			return
+		}
+		a.opt.Logf("fleet: heartbeat to %s failed (%v); lease expires if this persists",
+			a.api.Base(), err)
+	}
+}
+
+// sleep waits d or until ctx is done, reporting whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"hash/fnv"
+	"math"
+	"sort"
+)
+
+// Rank orders a snapshot's members by routing preference for one cell
+// key, best first, using weighted rendezvous (highest-random-weight)
+// hashing: each member scores weight/-ln(u) where u is a uniform
+// (0,1) value hashed from (member ID, cell key), and higher scores
+// win. The ranking is a pure function of the snapshot and the key —
+// deterministic given the same membership, so distributed tests stay
+// reproducible — and minimally disruptive across membership changes: a
+// join or death only moves the cells that hashed to the affected
+// member. IDs are hashed instead of URLs so routing survives a fleet
+// rebuilt on different ephemeral ports.
+func Rank(snap Snapshot, key string) []Member {
+	ranked := make([]Member, len(snap.Members))
+	copy(ranked, snap.Members)
+	scores := make(map[string]float64, len(ranked))
+	for _, m := range ranked {
+		scores[m.ID] = score(m, key)
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		si, sj := scores[ranked[i].ID], scores[ranked[j].ID]
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].ID < ranked[j].ID
+	})
+	return ranked
+}
+
+// score is one member's rendezvous weight for one key. The -ln(u)
+// transform (Thaler/Ravishankar) makes expected traffic share exactly
+// proportional to Member.Weight.
+func score(m Member, key string) float64 {
+	h := fnv.New64a()
+	h.Write([]byte(m.ID))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	// FNV alone is not uniform enough for the exponential transform
+	// (short inputs under-avalanche), so finish with a murmur3-style
+	// mix. Top 53 bits → uniform in (0,1): the +0.5 keeps u strictly
+	// inside the interval so ln(u) is finite and non-zero.
+	hv := fmix64(h.Sum64())
+	u := (float64(hv>>11) + 0.5) / (1 << 53)
+	w := m.Weight()
+	if w <= 0 {
+		w = 1e-9
+	}
+	return w / -math.Log(u)
+}
+
+// fmix64 is murmur3's 64-bit finalizer: full avalanche, so every
+// input bit flips every output bit with probability ~1/2.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

@@ -1,0 +1,119 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func snapOf(members ...Member) Snapshot { return Snapshot{Version: 1, Members: members} }
+
+func TestRankDeterministic(t *testing.T) {
+	snap := snapOf(
+		Member{ID: "w1", URL: "http://h1", Capacity: 2},
+		Member{ID: "w2", URL: "http://h2", Capacity: 2},
+		Member{ID: "w3", URL: "http://h3", Capacity: 2},
+	)
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		a, b := Rank(snap, key), Rank(snap, key)
+		for j := range a {
+			if a[j].ID != b[j].ID {
+				t.Fatalf("Rank(%q) not deterministic: %v vs %v at %d", key, a[j].ID, b[j].ID, j)
+			}
+		}
+	}
+}
+
+// TestRankIgnoresURL pins the property the fleet smoke test relies on:
+// routing hashes member IDs, not URLs, so the same fleet rebuilt on
+// different ephemeral ports routes identically.
+func TestRankIgnoresURL(t *testing.T) {
+	a := snapOf(Member{ID: "w1", URL: "http://h:1111", Capacity: 2},
+		Member{ID: "w2", URL: "http://h:2222", Capacity: 2})
+	b := snapOf(Member{ID: "w1", URL: "http://h:9999", Capacity: 2},
+		Member{ID: "w2", URL: "http://h:8888", Capacity: 2})
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if Rank(a, key)[0].ID != Rank(b, key)[0].ID {
+			t.Fatalf("key %q routed differently when only URLs changed", key)
+		}
+	}
+}
+
+// TestRankMinimalDisruption: adding a member only steals keys for
+// itself — no key moves between pre-existing members.
+func TestRankMinimalDisruption(t *testing.T) {
+	before := snapOf(Member{ID: "w1", Capacity: 2}, Member{ID: "w2", Capacity: 2})
+	after := snapOf(Member{ID: "w1", Capacity: 2}, Member{ID: "w2", Capacity: 2},
+		Member{ID: "w3", Capacity: 2})
+	moved, stolen := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("cell-%d", i)
+		b, a := Rank(before, key)[0].ID, Rank(after, key)[0].ID
+		if a == b {
+			continue
+		}
+		if a == "w3" {
+			stolen++
+		} else {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys moved between surviving members on a join", moved)
+	}
+	if stolen == 0 {
+		t.Fatal("joiner stole no keys at all")
+	}
+}
+
+// TestRankWeightProportional: a member with twice the capacity should
+// win roughly twice the keys.
+func TestRankWeightProportional(t *testing.T) {
+	snap := snapOf(Member{ID: "w1", Capacity: 2}, Member{ID: "w2", Capacity: 4})
+	wins := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		wins[Rank(snap, fmt.Sprintf("cell-%d", i))[0].ID]++
+	}
+	ratio := float64(wins["w2"]) / float64(wins["w1"])
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Fatalf("capacity-2x member won %.2fx the keys (w1=%d w2=%d), want ~2x",
+			ratio, wins["w1"], wins["w2"])
+	}
+}
+
+// TestRankLoadAware: with equal capacity, a backlogged member should
+// win fewer keys than an idle one.
+func TestRankLoadAware(t *testing.T) {
+	snap := snapOf(
+		Member{ID: "w1", Capacity: 4},
+		Member{ID: "w2", Capacity: 4, Load: Load{InflightCells: 8, QueuedCells: 8}},
+	)
+	wins := map[string]int{}
+	for i := 0; i < 2000; i++ {
+		wins[Rank(snap, fmt.Sprintf("cell-%d", i))[0].ID]++
+	}
+	if wins["w2"] >= wins["w1"] {
+		t.Fatalf("backlogged member won as many keys as the idle one: %v", wins)
+	}
+}
+
+func TestRankFullOrder(t *testing.T) {
+	snap := snapOf(Member{ID: "w1", Capacity: 2}, Member{ID: "w2", Capacity: 2},
+		Member{ID: "w3", Capacity: 2})
+	ranked := Rank(snap, "some-cell")
+	if len(ranked) != 3 {
+		t.Fatalf("Rank returned %d members, want all 3", len(ranked))
+	}
+	seen := map[string]bool{}
+	for _, m := range ranked {
+		if seen[m.ID] {
+			t.Fatalf("duplicate member %s in ranking", m.ID)
+		}
+		seen[m.ID] = true
+	}
+	if len(Rank(Snapshot{}, "k")) != 0 {
+		t.Fatal("empty snapshot should rank to nothing")
+	}
+}

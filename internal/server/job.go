@@ -85,6 +85,14 @@ func (j *job) addRow(done, total int, row experiments.SweepRow) {
 	j.bump()
 }
 
+// progress snapshots the job's state and cell counts (for fleet load
+// samples).
+func (j *job) progress() (state string, total, done int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.total, len(j.completed)
+}
+
 // finish records the terminal state and the grid-ordered result.
 func (j *job) finish(rows []experiments.SweepRow, stats experiments.SweepStats, state, msg string) {
 	j.mu.Lock()

@@ -32,6 +32,10 @@ type metrics struct {
 	// worker deaths that caused them.
 	redispatched atomic.Int64
 	workersLost  atomic.Int64
+	// rebalances counts dispatch rounds that ran against a changed
+	// fleet membership (a worker joined, died, or left mid-job and the
+	// pending cells were re-routed).
+	rebalances atomic.Int64
 	// shed counts requests rejected by a per-endpoint concurrency limit
 	// (429 + Retry-After) — distinct from queue-full 503s, which are
 	// jobs the daemon accepted the connection for but had no queue
@@ -44,7 +48,8 @@ type metrics struct {
 //	{
 //	  "server":   {uptime, goroutines, shed, endpoints.<name>.{requests,inflight,shed,limit,latency{p50/p95/p99}}},
 //	  "jobs":     {submitted, done, failed, canceled, shards, rows{served, computed, marshal_errors}},
-//	  "dispatch": {redispatched, workers_lost},
+//	  "dispatch": {redispatched, workers_lost, workers{alive, per_worker.<url>.{served,computed,errors,redispatched,dead}}},
+//	  "fleet":    {alive, dead, registrations, heartbeats, leases_expired, departures, rebalances},
 //	  "store":    {hits, misses, puts, corrupt_rows, index_rebuilds, records},
 //	  "memstats": {...}
 //	}
@@ -63,9 +68,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// perWorkerMetrics snapshots the daemon-lifetime per-worker dispatch
+// aggregates, keyed by worker URL.
+func (s *Server) perWorkerMetrics() map[string]any {
+	s.dispMu.Lock()
+	defer s.dispMu.Unlock()
+	out := make(map[string]any, len(s.dispOrder))
+	for _, url := range s.dispOrder {
+		agg := s.dispWorkers[url]
+		out[url] = map[string]any{
+			"served":       agg.served,
+			"computed":     agg.computed,
+			"errors":       agg.errors,
+			"redispatched": agg.redispatched,
+			"dead":         agg.dead,
+		}
+	}
+	return out
+}
+
 // metricsTree builds the namespaced document.
 func (s *Server) metricsTree() map[string]any {
 	st := s.cfg.Store.Stats()
+	fst := s.fleet.Stats()
 	eps := map[string]any{}
 	for _, ep := range s.endpointsByName() {
 		eps[ep.name] = ep.stats()
@@ -92,6 +117,19 @@ func (s *Server) metricsTree() map[string]any {
 		"dispatch": map[string]any{
 			"redispatched": s.metrics.redispatched.Load(),
 			"workers_lost": s.metrics.workersLost.Load(),
+			"workers": map[string]any{
+				"alive":      fst.Alive,
+				"per_worker": s.perWorkerMetrics(),
+			},
+		},
+		"fleet": map[string]any{
+			"alive":          fst.Alive,
+			"dead":           fst.Dead,
+			"registrations":  fst.Registrations,
+			"heartbeats":     fst.Heartbeats,
+			"leases_expired": fst.LeasesExpired,
+			"departures":     fst.Departures,
+			"rebalances":     s.metrics.rebalances.Load(),
 		},
 		"store": map[string]any{
 			"hits":           st.Hits,
@@ -113,26 +151,50 @@ func (s *Server) metricsTree() map[string]any {
 // convention.
 func (s *Server) metricsFlat() map[string]any {
 	st := s.cfg.Store.Stats()
+	fst := s.fleet.Stats()
 	out := map[string]any{
-		"whirld.jobs.submitted":        s.metrics.jobsSubmitted.Load(),
-		"whirld.jobs.done":             s.metrics.jobsDone.Load(),
-		"whirld.jobs.failed":           s.metrics.jobsFailed.Load(),
-		"whirld.jobs.canceled":         s.metrics.jobsCanceled.Load(),
-		"whirld.rows.served":           s.metrics.rowsServed.Load(),
-		"whirld.rows.computed":         s.metrics.rowsComputed.Load(),
-		"whirld.rows.marshal_errors":   s.metrics.rowMarshalErrs.Load(),
-		"whirld.jobs.shards":           s.metrics.shardJobs.Load(),
-		"whirld.dispatch.redispatched": s.metrics.redispatched.Load(),
-		"whirld.dispatch.workers_lost": s.metrics.workersLost.Load(),
-		"store.hits":                   st.Hits,
-		"store.misses":                 st.Misses,
-		"store.puts":                   st.Puts,
-		"store.corrupt_rows":           st.CorruptRows,
-		"store.index_rebuilds":         st.IndexRebuilds,
-		"store.records":                st.Records,
-		"goroutines":                   runtime.NumGoroutine(),
-		"server.shed":                  s.metrics.shed.Load(),
+		"whirld.jobs.submitted":         s.metrics.jobsSubmitted.Load(),
+		"whirld.jobs.done":              s.metrics.jobsDone.Load(),
+		"whirld.jobs.failed":            s.metrics.jobsFailed.Load(),
+		"whirld.jobs.canceled":          s.metrics.jobsCanceled.Load(),
+		"whirld.rows.served":            s.metrics.rowsServed.Load(),
+		"whirld.rows.computed":          s.metrics.rowsComputed.Load(),
+		"whirld.rows.marshal_errors":    s.metrics.rowMarshalErrs.Load(),
+		"whirld.jobs.shards":            s.metrics.shardJobs.Load(),
+		"whirld.dispatch.redispatched":  s.metrics.redispatched.Load(),
+		"whirld.dispatch.workers_lost":  s.metrics.workersLost.Load(),
+		"whirld.dispatch.workers.alive": fst.Alive,
+		"whirld.fleet.alive":            fst.Alive,
+		"whirld.fleet.dead":             fst.Dead,
+		"whirld.fleet.registrations":    fst.Registrations,
+		"whirld.fleet.heartbeats":       fst.Heartbeats,
+		"whirld.fleet.leases_expired":   fst.LeasesExpired,
+		"whirld.fleet.departures":       fst.Departures,
+		"whirld.fleet.rebalances":       s.metrics.rebalances.Load(),
+		"store.hits":                    st.Hits,
+		"store.misses":                  st.Misses,
+		"store.puts":                    st.Puts,
+		"store.corrupt_rows":            st.CorruptRows,
+		"store.index_rebuilds":          st.IndexRebuilds,
+		"store.records":                 st.Records,
+		"goroutines":                    runtime.NumGoroutine(),
+		"server.shed":                   s.metrics.shed.Load(),
 	}
+	s.dispMu.Lock()
+	for _, url := range s.dispOrder {
+		agg := s.dispWorkers[url]
+		prefix := "whirld.dispatch.worker." + url
+		out[prefix+".served"] = agg.served
+		out[prefix+".computed"] = agg.computed
+		out[prefix+".errors"] = agg.errors
+		out[prefix+".redispatched"] = agg.redispatched
+		dead := 0
+		if agg.dead {
+			dead = 1
+		}
+		out[prefix+".dead"] = dead
+	}
+	s.dispMu.Unlock()
 	for _, ep := range s.endpointsByName() {
 		snap := ep.hist.snapshot()
 		prefix := "server.endpoints." + ep.name

@@ -33,6 +33,7 @@ var defaultLimits = map[string]int{
 	"stream":  128,
 	"rows":    64,
 	"results": 256,
+	"workers": 256,
 	"healthz": 0,
 	"metrics": 0,
 }

@@ -15,6 +15,10 @@
 //	GET    /v1/jobs/{id}/rows   finished grid in csv/json/table form
 //	DELETE /v1/jobs/{id}        cancel a queued or running job
 //	GET    /v1/results          query the store (app/scheme/key filters)
+//	POST   /v1/workers          a worker joins the fleet (lease grant)
+//	POST   /v1/workers/{id}/heartbeat renew the lease + report load
+//	DELETE /v1/workers/{id}     a worker leaves gracefully
+//	GET    /v1/workers          fleet roster (alive + dead)
 //	GET    /healthz             liveness + build identity
 //	GET    /metrics             expvar-style counters
 package server
@@ -28,10 +32,12 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"whirlpool/internal/dispatch"
 	"whirlpool/internal/experiments"
+	"whirlpool/internal/fleet"
 	"whirlpool/internal/results"
 	"whirlpool/internal/schemes"
 	"whirlpool/internal/spec"
@@ -49,13 +55,26 @@ type Config struct {
 	// Workers bounds each job's sweep parallelism; <= 0 means
 	// GOMAXPROCS.
 	Workers int
-	// WorkerURLs, when non-empty, puts the daemon in coordinator mode:
-	// a job's unserved cells are sharded by content-address across
-	// these worker whirld daemons (internal/dispatch) instead of being
-	// simulated locally, and every returned row is committed to this
-	// daemon's store. Shard jobs (POST /v1/cells) always run locally,
-	// so a coordinator is never part of its own fleet.
+	// WorkerURLs seeds the fleet with static members: workers assumed
+	// alive for the daemon's lifetime (no lease, never expire — the
+	// pre-elastic -workers model). Workers may also join dynamically at
+	// runtime via POST /v1/workers (whirld -join), with liveness
+	// governed by heartbeat leases. Whenever the fleet has at least one
+	// alive member the daemon is a coordinator: a sweep's unserved
+	// cells are sharded across the alive set (internal/dispatch)
+	// instead of being simulated locally, and every returned row is
+	// committed to this daemon's store. Shard jobs (POST /v1/cells)
+	// always run locally, so a coordinator is never part of its own
+	// fleet.
 	WorkerURLs []string
+	// LeaseTTL is how long a dynamically-joined worker stays alive
+	// without a heartbeat; past it the worker is dead exactly as if
+	// its connection had dropped mid-shard. <= 0 means the fleet
+	// default (10s).
+	LeaseTTL time.Duration
+	// Logf, when non-nil, receives fleet membership and dispatch
+	// rebalance logs (whirld passes log.Printf).
+	Logf func(format string, args ...any)
 	// JobWorkers bounds how many jobs run concurrently; <= 0 means 1
 	// (FIFO jobs, each fanning cells across Workers — the right
 	// throughput model for CPU-bound simulation).
@@ -107,6 +126,25 @@ type Server struct {
 	started   time.Time
 	metrics   metrics
 	endpoints []*endpoint
+
+	// fleet is the worker registry: static members seeded from
+	// cfg.WorkerURLs plus leased members joining via /v1/workers.
+	fleet *fleet.Registry
+	logf  func(format string, args ...any)
+
+	// cellsDone counts rows landed across all jobs (the throughput
+	// numerator for Load's cells/sec); loadAt/loadCells are the
+	// previous Load sample, guarded by loadMu.
+	cellsDone atomic.Int64
+	loadMu    sync.Mutex
+	loadAt    time.Time
+	loadCells int64
+
+	// dispWorkers aggregates per-worker dispatch tallies across jobs
+	// for /metrics (dispatch.workers.per_worker), guarded by dispMu.
+	dispMu      sync.Mutex
+	dispWorkers map[string]*workerAgg
+	dispOrder   []string
 }
 
 // SweepRequest is the POST /v1/sweeps body. Semantics mirror the
@@ -162,6 +200,17 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan *job, cfg.QueueDepth),
 		started: time.Now(),
 	}
+	s.logf = cfg.Logf
+	if s.logf == nil {
+		s.logf = func(string, ...any) {}
+	}
+	s.fleet = fleet.NewRegistry(fleet.RegistryOptions{LeaseTTL: cfg.LeaseTTL, Logf: s.logf})
+	for _, u := range cfg.WorkerURLs {
+		if err := s.fleet.AddStatic(u, 0); err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: worker URL: %v", err)
+		}
+	}
 	s.mux = http.NewServeMux()
 	// Routes sharing a name share one endpoint: one concurrency limit,
 	// one latency histogram (server.endpoints.<name> in /metrics).
@@ -173,6 +222,10 @@ func New(cfg Config) (*Server, error) {
 	s.route("GET /v1/jobs/{id}/stream", "stream", s.handleStream)
 	s.route("GET /v1/jobs/{id}/rows", "rows", s.handleRows)
 	s.route("GET /v1/results", "results", s.handleResults)
+	s.route("POST /v1/workers", "workers", s.handleWorkerRegister)
+	s.route("GET /v1/workers", "workers", s.handleWorkersList)
+	s.route("POST /v1/workers/{id}/heartbeat", "workers", s.handleWorkerHeartbeat)
+	s.route("DELETE /v1/workers/{id}", "workers", s.handleWorkerDeregister)
 	s.route("GET /healthz", "healthz", s.handleHealthz)
 	s.route("GET /metrics", "metrics", s.handleMetrics)
 	for i := 0; i < cfg.JobWorkers; i++ {
@@ -287,15 +340,21 @@ func (s *Server) runJob(j *job) {
 		Context:  ctx,
 		Store:    s.cfg.Store,
 		Stats:    &stats,
-		OnRow:    func(done, total int, row experiments.SweepRow) { j.addRow(done, total, row) },
+		OnRow: func(done, total int, row experiments.SweepRow) {
+			s.cellsDone.Add(1)
+			j.addRow(done, total, row)
+		},
 	}
-	// Coordinator mode: shard this grid across the worker fleet instead
-	// of simulating here. Shard jobs (j.cells) always run locally —
-	// that is the recursion anchor.
+	// Coordinator mode: shard this grid across the fleet's current
+	// alive set instead of simulating here. The membership snapshot is
+	// taken per dispatch round, so workers joining or dying mid-job
+	// change the routing live. A job that starts against an empty
+	// fleet runs locally even if workers join later. Shard jobs
+	// (j.cells) always run locally — that is the recursion anchor.
 	var pool *dispatch.Pool
-	if len(s.cfg.WorkerURLs) > 0 && j.cells == nil {
+	if j.cells == nil && len(s.fleet.Snapshot().Members) > 0 {
 		var perr error
-		pool, perr = dispatch.New(s.cfg.WorkerURLs, dispatch.Options{})
+		pool, perr = dispatch.NewPool(s.fleet, dispatch.Options{Logf: s.logf})
 		if perr != nil {
 			s.metrics.jobsFailed.Add(1)
 			j.finish(nil, experiments.SweepStats{}, "failed", perr.Error())
@@ -324,6 +383,8 @@ func (s *Server) runJob(j *job) {
 				s.metrics.workersLost.Add(1)
 			}
 		}
+		s.metrics.rebalances.Add(int64(pool.Rebalances()))
+		s.recordWorkerStats(stats.Workers)
 	}
 	s.metrics.rowsServed.Add(int64(stats.Served))
 	s.metrics.rowsComputed.Add(int64(stats.Computed))
