@@ -9,7 +9,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X whirlpool/internal/cliutil.buildVersion=$(VERSION)"
 
-.PHONY: build examples test race vet fmt fmt-check bench bench-json smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke ci
+.PHONY: build examples test race vet fmt fmt-check bench bench-json bench-delta smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -22,13 +22,15 @@ examples:
 test:
 	$(GO) test ./...
 
-# The concurrency hot spots: the sweep worker pool and the per-app
-# once-cache in the experiments harness, the result store's concurrent
-# writers, the daemon's job pool + SSE broadcast, the distributed
-# dispatcher's shard fan-out, and the fleet registry's heartbeat/expiry
-# races.
+# The concurrency hot spots: the sweep worker pool (same-app batching,
+# per-worker sim.Runner reuse) and the per-app once-cache in the
+# experiments harness, per-goroutine Runners and concurrent mapped-trace
+# cursors in the simulator and trace codec, the result store's
+# concurrent writers, the daemon's job pool + SSE broadcast, the
+# distributed dispatcher's shard fan-out, and the fleet registry's
+# heartbeat/expiry races.
 race:
-	$(GO) test -race -count=1 ./internal/experiments/... ./internal/results/ ./internal/server/ ./internal/dispatch/ ./internal/fleet/
+	$(GO) test -race -count=1 -timeout 20m ./internal/experiments/... ./internal/sim/ ./internal/trace/ ./internal/results/ ./internal/server/ ./internal/dispatch/ ./internal/fleet/
 
 vet:
 	$(GO) vet ./...
@@ -53,10 +55,18 @@ bench:
 # so benchstat can compare two snapshots:
 #   jq -r '.raw[]' BENCH_trace.json | benchstat /dev/stdin
 bench-json:
-	$(GO) test -run '^$$' -bench 'FilterPrivate|TraceCursor|TraceCodec|HarnessTrace|SimRunDelaunay' \
-		-benchmem -benchtime 200ms -count 1 ./internal/trace/ ./internal/experiments/ \
+	$(GO) test -run '^$$' -bench 'FilterPrivate|TraceCursor|TraceCodec|TraceMmap|HarnessTrace|SimRun|SweepBatched' \
+		-benchmem -benchtime 200ms -count 1 ./internal/trace/ ./internal/sim/ ./internal/experiments/ \
 		| $(GO) run ./cmd/whirltool benchjson > BENCH_trace.json
 	@echo "wrote BENCH_trace.json"
+
+# Regression gate over the bench trajectory: compares the fresh
+# BENCH_trace.json against the committed baseline (HEAD) and fails when
+# a guarded decode-path benchmark (TraceCodec/TraceCursor/TraceMmap/
+# FilterPrivate) regressed >20% in ns/op or allocs/op. Opt out of a
+# known-noisy run with BENCH_DELTA_SKIP=1.
+bench-delta:
+	./scripts/bench-delta.sh
 
 # End-to-end CLI smoke: the spec engine, the sweep runner, and the
 # error paths CI asserts on (bad flags must exit non-zero).

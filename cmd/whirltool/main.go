@@ -22,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -45,6 +46,9 @@ func main() {
 			return
 		case "benchjson":
 			benchJSONCmd(os.Args[2:])
+			return
+		case "benchdelta":
+			benchDeltaCmd(os.Args[2:])
 			return
 		case "load":
 			loadCmd(os.Args[2:])
@@ -145,10 +149,11 @@ func traceInfo(args []string) {
 		fatal(fmt.Errorf("usage: whirltool trace info FILE.wtrc"))
 	}
 	path := fs.Arg(0)
-	tr, err := trace.ReadFile(path)
+	tr, err := trace.OpenMapped(path)
 	if err != nil {
 		fatal(err)
 	}
+	defer tr.Close()
 	s := tr.Stats()
 	wbacks := uint64(tr.NumAccesses()) - tr.DemandAccesses()
 	fmt.Printf("%s: wtrc v%d\n", path, trace.FormatVersion)
@@ -169,10 +174,11 @@ func traceCat(args []string) {
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("usage: whirltool trace cat [-n N] FILE.wtrc"))
 	}
-	tr, err := trace.ReadFile(fs.Arg(0))
+	tr, err := trace.OpenMapped(fs.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	defer tr.Close()
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 	fmt.Fprintln(w, "# seq line gap flags (W=write, B=writeback)")
@@ -264,4 +270,83 @@ func benchJSONCmd(args []string) {
 	if err := enc.Encode(out); err != nil {
 		fatal(err)
 	}
+}
+
+// benchDeltaCmd compares two BENCH_trace.json snapshots and exits
+// non-zero when any benchmark matching -match regressed by more than
+// -max-regress percent on a guarded metric (ns/op and allocs/op). It is
+// the core of scripts/bench-delta.sh, the CI guard that keeps the trace
+// decode path from quietly slowing down.
+func benchDeltaCmd(args []string) {
+	fs := flag.NewFlagSet("benchdelta", flag.ExitOnError)
+	match := fs.String("match", "FilterPrivate|TraceCursor|TraceCodec|TraceMmap", "regexp of guarded benchmark names")
+	maxRegress := fs.Float64("max-regress", 20, "allowed regression in percent before failing")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		fatal(fmt.Errorf("usage: whirltool benchdelta [-match RE] [-max-regress PCT] BASELINE.json CURRENT.json"))
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fatal(fmt.Errorf("benchdelta: bad -match: %w", err))
+	}
+	load := func(path string) map[string]map[string]float64 {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("benchdelta: %w", err))
+		}
+		var doc benchJSON
+		if err := json.Unmarshal(data, &doc); err != nil {
+			fatal(fmt.Errorf("benchdelta: %s: %w", path, err))
+		}
+		m := map[string]map[string]float64{}
+		for _, row := range doc.Benchmarks {
+			// Strip the -N GOMAXPROCS suffix so snapshots from machines
+			// with different core counts still line up.
+			name := row.Name
+			if i := strings.LastIndex(name, "-"); i > 0 {
+				if _, err := strconv.Atoi(name[i+1:]); err == nil {
+					name = name[:i]
+				}
+			}
+			m[name] = row.Metrics
+		}
+		return m
+	}
+	base, cur := load(fs.Arg(0)), load(fs.Arg(1))
+	guarded := []string{"ns/op", "allocs/op"}
+	failed := false
+	compared := 0
+	for name, curMetrics := range cur {
+		if !re.MatchString(name) {
+			continue
+		}
+		baseMetrics, ok := base[name]
+		if !ok {
+			fmt.Printf("benchdelta: %-40s new benchmark, no baseline\n", name)
+			continue
+		}
+		for _, metric := range guarded {
+			b, c := baseMetrics[metric], curMetrics[metric]
+			if b <= 0 {
+				continue
+			}
+			compared++
+			deltaPct := (c - b) / b * 100
+			status := "ok"
+			if deltaPct > *maxRegress {
+				status = "REGRESSION"
+				failed = true
+			}
+			fmt.Printf("benchdelta: %-40s %-10s %12.1f -> %12.1f  %+7.1f%%  %s\n",
+				name, metric, b, c, deltaPct, status)
+		}
+	}
+	if compared == 0 {
+		fmt.Println("benchdelta: no guarded benchmarks in common; nothing to compare")
+		return
+	}
+	if failed {
+		fatal(fmt.Errorf("benchdelta: guarded benchmarks regressed more than %.0f%% (set BENCH_DELTA_SKIP=1 to bypass a known-noisy run)", *maxRegress))
+	}
+	fmt.Printf("benchdelta: %d guarded metrics within %.0f%% of baseline\n", compared, *maxRegress)
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"whirlpool/internal/schemes"
+	"whirlpool/internal/sim"
 )
 
 // The harness-level bench trajectory (make bench-json): what one app
@@ -55,6 +56,45 @@ func BenchmarkSimRunDelaunay(b *testing.B) {
 		r := h.RunSingle("delaunay", schemes.KindSNUCALRU, RunOptions{})
 		if r.Demand == 0 {
 			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkSimRunnerReuseHarness measures the harness-level per-cell
+// cost when a sweep worker's Runner is threaded through RunSingle: the
+// trace is resident and the replay arenas are reused, so each iteration
+// pays scheme construction + replay only.
+func BenchmarkSimRunnerReuseHarness(b *testing.B) {
+	h := NewHarness(0.05)
+	h.App("delaunay")
+	runner := sim.NewRunner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := h.RunSingle("delaunay", schemes.KindSNUCALRU, RunOptions{Runner: runner})
+		if r.Demand == 0 {
+			b.Fatal("empty run")
+		}
+	}
+}
+
+// BenchmarkSweepBatchedSameApp measures the batched sweep shape the
+// scheduler optimizes for: every scheme of one app on one worker, the
+// app's trace built once outside the timer, each cell riding the
+// worker's warm Runner and the shared trace reader.
+func BenchmarkSweepBatchedSameApp(b *testing.B) {
+	h := NewHarness(0.05)
+	h.App("delaunay")
+	kinds := []schemes.Kind{schemes.KindSNUCALRU, schemes.KindSNUCADRRIP, schemes.KindAwasthi}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := h.Sweep(SweepConfig{Apps: []string{"delaunay"}, Kinds: kinds, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Err != "" {
+				b.Fatal(r.Err)
+			}
 		}
 	}
 }

@@ -119,7 +119,7 @@ func (h *Harness) Fig06() *Table {
 	const windows = 12
 	counts := make([][2]uint64, windows)
 	instrs := make([]uint64, windows)
-	total := at.Tr.Instrs
+	total := at.Tr.Stats().Instrs
 	var instrSoFar uint64
 	g1 := addr.LineOf(at.W.Structs[0].Base)
 	g1end := g1 + addr.Line(at.W.Structs[0].Lines)
@@ -193,7 +193,7 @@ func (h *Harness) curveTable(app string, figure string) *Table {
 	for _, s := range at.W.Structs {
 		t.Cols = append(t.Cols, s.Spec.Name+" MPKI")
 	}
-	instrK := float64(at.Tr.Instrs) / 1000
+	instrK := float64(at.Tr.Stats().Instrs) / 1000
 	sizes := []float64{0, 1, 2, 3, 4, 5, 6, 8, 10, 12}
 	for _, mb := range sizes {
 		row := []string{F(mb, 0)}

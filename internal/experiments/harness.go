@@ -85,10 +85,15 @@ type appEntry struct {
 	err  error
 }
 
-// AppTrace is a built app plus its LLC-level trace.
+// AppTrace is a built app plus its LLC-level trace. Tr is a TraceReader
+// rather than a concrete trace: generated apps hold an eager in-memory
+// LLCTrace, while traces resolved from .wtrc files (recorded apps, disk
+// cache hits) stay memory-mapped and decode lazily per cursor — the
+// zero-copy path. Mappings live as long as the harness caches the entry
+// (process lifetime), so they are never explicitly closed.
 type AppTrace struct {
 	W  *workloads.Workload
-	Tr *trace.LLCTrace
+	Tr trace.TraceReader
 }
 
 // NewHarness creates a harness at the given workload scale.
@@ -146,7 +151,9 @@ func (h *Harness) buildAppTrace(spec workloads.AppSpec) (*AppTrace, error) {
 	if spec.TracePath != "" {
 		// Externally recorded app: the .wtrc file IS the trace; scale
 		// and seed do not apply, and the disk cache would be redundant.
-		tr, err := trace.ReadFile(spec.TracePath)
+		// The file is validated up front (header + CRC) but its columns
+		// stay mapped and decode lazily per replay cursor.
+		tr, err := trace.OpenMapped(spec.TracePath)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: app %q: %w", spec.Name, err)
 		}
@@ -155,7 +162,7 @@ func (h *Harness) buildAppTrace(spec workloads.AppSpec) (*AppTrace, error) {
 	var cachePath string
 	if dir := h.cacheDir(); dir != "" {
 		cachePath = filepath.Join(dir, traceCacheName(spec, h.Scale, h.Seed, h.ReconfigCycles))
-		if tr, err := trace.ReadFile(cachePath); err == nil {
+		if tr, err := trace.OpenMapped(cachePath); err == nil {
 			h.diskHits.Add(1)
 			return &AppTrace{W: w, Tr: tr}, nil
 		}
@@ -268,6 +275,18 @@ type RunOptions struct {
 	// LLCOverride, when set, is used instead of building kind (for
 	// ablation variants of Jigsaw/Whirlpool).
 	LLCOverride func(chip *noc.Chip, m *energy.Meter) llc.LLC
+	// Runner, when set, supplies the simulation arenas. Sweep workers
+	// pass their per-goroutine Runner so consecutive cells reuse replay
+	// state; nil means a fresh run (identical results, more allocation).
+	Runner *sim.Runner
+}
+
+// runOn dispatches through the optional Runner.
+func runOn(r *sim.Runner, cfg sim.Config) *sim.Result {
+	if r != nil {
+		return r.Run(cfg)
+	}
+	return sim.Run(cfg)
 }
 
 // RunSingle runs one app (on core 0 of a 4-core chip, like the paper's
@@ -314,7 +333,7 @@ func (h *Harness) RunSingle(app string, kind schemes.Kind, opt RunOptions) *sim.
 		}
 		cfg.NumPools = len(at.W.Structs) + 1
 	}
-	return sim.Run(cfg)
+	return runOn(opt.Runner, cfg)
 }
 
 // mixLineOffset separates per-core address spaces in multi-programmed
@@ -336,6 +355,12 @@ func (h *Harness) RunMix(apps []string, kind schemes.Kind, chip *noc.Chip, noByp
 // nil means the identity placement (app i on core i). Per-core results
 // land at the pinned core's index in Result.Cores.
 func (h *Harness) RunMixPinned(apps []string, pins []int, kind schemes.Kind, chip *noc.Chip, noBypass bool) *sim.Result {
+	return h.runMixPinned(apps, pins, kind, chip, noBypass, nil)
+}
+
+// runMixPinned is RunMixPinned with an optional Runner supplying the
+// simulation arenas (the sweep worker path).
+func (h *Harness) runMixPinned(apps []string, pins []int, kind schemes.Kind, chip *noc.Chip, noBypass bool, runner *sim.Runner) *sim.Result {
 	if len(apps) > chip.NCores() {
 		panic("experiments: more apps than cores")
 	}
@@ -392,7 +417,7 @@ func (h *Harness) RunMixPinned(apps []string, pins []int, kind schemes.Kind, chi
 		JigsawBypass:      !noBypass,
 		WhirlpoolBypass:   !noBypass,
 	})
-	return sim.Run(sim.Config{
+	return runOn(runner, sim.Config{
 		LLC:    l,
 		Meter:  meter,
 		Traces: traces,

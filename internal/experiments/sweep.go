@@ -512,36 +512,89 @@ func (h *Harness) prefetchTraces(ctx context.Context, jobs []sweepJob, served []
 // runLocal simulates the unserved cells on the local worker pool
 // (stage 2). Every resolved cell — computed, failed, or canceled —
 // flows through the progress path.
+//
+// Cells are handed out in same-app batches: all unserved cells of one
+// app (or mix) are grouped so one worker runs every scheme of that app
+// back to back, feeding the same decoded (or mapped) trace reader into
+// each scheme instance through its per-worker sim.Runner — the replay
+// cursors rewind instead of re-decoding, and the per-run arenas are
+// reused across the whole batch. Rows stay bit-identical: grouping only
+// changes which goroutine runs a cell, never its inputs, and every cell
+// still commits to the store and emits progress individually. Large
+// groups are chunked so a sweep dominated by one app still spreads
+// across the pool.
 func (h *Harness) runLocal(ctx context.Context, cfg *SweepConfig, jobs []sweepJob, rows []SweepRow, keys []string, served []bool, prog *sweepProgress, workers int) {
-	idx := make(chan int, len(jobs))
-	for i := range jobs {
-		if !served[i] {
-			idx <- i
-		}
+	batches := batchByApp(jobs, served, workers)
+	work := make(chan []int, len(batches))
+	for _, b := range batches {
+		work <- b
 	}
-	close(idx)
+	close(work)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range idx {
-				if ctx.Err() != nil {
-					rows[i] = canceledRow(jobs[i], keys[i])
-					prog.emit(rows[i])
-					continue
+			runner := sim.NewRunner()
+			for batch := range work {
+				for _, i := range batch {
+					if ctx.Err() != nil {
+						rows[i] = canceledRow(jobs[i], keys[i])
+						prog.emit(rows[i])
+						continue
+					}
+					row := h.runSweepJob(jobs[i], cfg.NoBypass, runner)
+					row.Key = keys[i]
+					rows[i] = row
+					if cfg.Store != nil {
+						storeCommit(cfg.Store, keys[i], row)
+					}
+					prog.emit(row)
 				}
-				row := h.runSweepJob(jobs[i], cfg.NoBypass)
-				row.Key = keys[i]
-				rows[i] = row
-				if cfg.Store != nil {
-					storeCommit(cfg.Store, keys[i], row)
-				}
-				prog.emit(row)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// batchByApp groups the unserved cell indices by app/mix name (grid
+// order preserved within each group, groups in first-appearance order),
+// then chunks groups so no batch exceeds ceil(unserved/workers) cells —
+// the cap that keeps a one-app sweep parallel while still letting the
+// common grid shape (every scheme × one app) ride a single worker's
+// warm trace.
+func batchByApp(jobs []sweepJob, served []bool, workers int) [][]int {
+	groups := map[string][]int{}
+	var order []string
+	unserved := 0
+	for i := range jobs {
+		if served[i] {
+			continue
+		}
+		name := jobs[i].name()
+		if _, ok := groups[name]; !ok {
+			order = append(order, name)
+		}
+		groups[name] = append(groups[name], i)
+		unserved++
+	}
+	if unserved == 0 {
+		return nil
+	}
+	maxBatch := (unserved + workers - 1) / workers
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	var batches [][]int
+	for _, name := range order {
+		g := groups[name]
+		for len(g) > maxBatch {
+			batches = append(batches, g[:maxBatch])
+			g = g[maxBatch:]
+		}
+		batches = append(batches, g)
+	}
+	return batches
 }
 
 // runRemote hands the unserved cells to cfg.Remote (stage 2 on a
@@ -600,7 +653,9 @@ func (h *Harness) runRemote(ctx context.Context, cfg *SweepConfig, jobs []sweepJ
 // The panic site's stack rides along in the error row: without it a
 // sweep-reported failure is undebuggable, because recover() by itself
 // discards where the panic happened.
-func (h *Harness) runSweepJob(j sweepJob, noBypass bool) (row SweepRow) {
+// A panicked cell leaves runner reusable: Runner.Run reinitializes every
+// arena slot on entry, so stale mid-run state never leaks forward.
+func (h *Harness) runSweepJob(j sweepJob, noBypass bool, runner *sim.Runner) (row SweepRow) {
 	defer func() {
 		if r := recover(); r != nil {
 			row = SweepRow{App: j.name(), Scheme: j.kind.ID(), Mix: j.mix != nil,
@@ -610,9 +665,9 @@ func (h *Harness) runSweepJob(j sweepJob, noBypass bool) (row SweepRow) {
 	start := time.Now()
 	var r *sim.Result
 	if j.mix != nil {
-		r = h.RunMixPinned(j.mix.Apps, j.mix.Pins, j.kind, mixChip(j.mix), noBypass)
+		r = h.runMixPinned(j.mix.Apps, j.mix.Pins, j.kind, mixChip(j.mix), noBypass, runner)
 	} else {
-		r = h.RunSingle(j.app, j.kind, RunOptions{NoBypass: noBypass})
+		r = h.RunSingle(j.app, j.kind, RunOptions{NoBypass: noBypass, Runner: runner})
 	}
 	return rowFromResult(j.name(), j.mix != nil, j.kind, r, time.Since(start))
 }

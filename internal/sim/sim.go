@@ -134,25 +134,47 @@ func (cs *coreState) next() (a trace.LLCAccess, done bool) {
 	return a, false
 }
 
+// Runner executes simulations while reusing all per-run scratch state —
+// the per-core replay states, the scheduler's pick list, and (when the
+// same trace reader comes back, as it does for every scheme of one app
+// in a batched sweep cell) the decode cursors themselves, rewound
+// instead of reallocated. A sweep worker holds one Runner for its whole
+// cell stream, so per-cell sim setup is a handful of resets instead of a
+// fresh allocation graph.
+//
+// A Runner is not safe for concurrent use; give each goroutine its own.
+// The zero value is ready to use. Results returned by Run are
+// independent of the Runner and stay valid across later runs.
+type Runner struct {
+	cores  []coreState    // per-slot replay state, reused across runs
+	lastTr []trace.Reader // slot i's reader last run; pointer-equal => cursor reuse
+	pick   []int          // scheduler scratch: core indices still in play
+	warm   []int          // warmupPass scratch copy of pick
+}
+
+// NewRunner returns an empty Runner (equivalent to new(Runner)).
+func NewRunner() *Runner { return &Runner{} }
+
 // warmupPass replays every trace once without recording statistics,
 // bringing caches, monitors, and runtimes to steady state. It returns the
 // next Tick deadline.
-func warmupPass(cfg Config, cores []*coreState, nextTick uint64) uint64 {
-	remaining := 0
-	for _, c := range cores {
-		if c != nil {
-			remaining++
-		}
-	}
-	for remaining > 0 {
+func (r *Runner) warmupPass(cfg Config, cores []coreState, pick []int, nextTick uint64) uint64 {
+	// Work on a scratch copy: cores leave the list as they finish their
+	// pass. Ordered removal keeps the scan's ascending-index tie-break,
+	// so results stay bit-identical to the historical full scan.
+	live := append(r.warm[:0], pick...)
+	r.warm = live[:0]
+	for len(live) > 0 {
 		var cs *coreState
-		core := -1
-		for i, c := range cores {
-			if c == nil || c.finished {
-				continue
-			}
-			if cs == nil || c.cycles < cs.cycles {
-				cs, core = c, i
+		core, k := live[0], 0
+		if len(live) == 1 {
+			cs = &cores[core]
+		} else {
+			for j, i := range live {
+				c := &cores[i]
+				if cs == nil || c.cycles < cs.cycles {
+					cs, core, k = c, i, j
+				}
 			}
 		}
 		a, done := cs.next()
@@ -169,14 +191,22 @@ func warmupPass(cfg Config, cores []*coreState, nextTick uint64) uint64 {
 		}
 		if done {
 			cs.finished = true
-			remaining--
+			live = append(live[:k], live[k+1:]...)
 		}
 	}
 	return nextTick
 }
 
-// Run executes the simulation to completion and returns the result.
+// Run executes the simulation to completion and returns the result. It
+// is shorthand for new(Runner).Run(cfg); hot callers that run many
+// simulations (sweep workers) keep a Runner instead.
 func Run(cfg Config) *Result {
+	return new(Runner).Run(cfg)
+}
+
+// Run executes one simulation to completion, reusing the Runner's
+// arenas. Results are bit-identical to the package-level Run.
+func (r *Runner) Run(cfg Config) *Result {
 	if cfg.TickEvery == 0 {
 		cfg.TickEvery = DefaultTickEvery
 	}
@@ -185,47 +215,72 @@ func Run(cfg Config) *Result {
 		res.PoolAccesses = make([]uint64, cfg.NumPools)
 		res.PoolMisses = make([]uint64, cfg.NumPools)
 	}
-	cores := make([]*coreState, len(cfg.Traces))
-	active := 0
+	n := len(cfg.Traces)
+	if cap(r.cores) < n {
+		r.cores = make([]coreState, n)
+		r.lastTr = make([]trace.Reader, n)
+	}
+	cores, lastTr := r.cores[:n], r.lastTr[:n]
+	pick := r.pick[:0]
 	for i, t := range cfg.Traces {
+		cs := &cores[i]
 		if t == nil || t.NumAccesses() == 0 {
+			*cs = coreState{}
+			lastTr[i] = nil
 			continue
 		}
-		cores[i] = &coreState{cur: t.NewCursor(), n: t.NumAccesses(), sum: t.Stats()}
-		active++
+		// Reuse the slot's cursor when the same reader is back (every
+		// scheme of a batched same-app cell group): Reset fully rewinds
+		// decode state, so a rewound cursor is indistinguishable from a
+		// fresh one.
+		cur := cs.cur
+		if cur != nil && lastTr[i] == t {
+			cur.Reset()
+		} else {
+			cur = t.NewCursor()
+			lastTr[i] = t
+		}
+		*cs = coreState{cur: cur, n: t.NumAccesses(), sum: t.Stats()}
+		pick = append(pick, i)
 	}
-	if active == 0 {
+	r.pick = pick[:0]
+	if len(pick) == 0 {
 		return res
 	}
 	var nextTick uint64 = cfg.TickEvery
 	if cfg.Warmup {
-		nextTick = warmupPass(cfg, cores, nextTick)
+		nextTick = r.warmupPass(cfg, cores, pick, nextTick)
 		// Measurement starts warm: reset timing and energy, keep cache
 		// state. The cursors were rewound as each warmup pass completed.
-		for _, c := range cores {
-			if c != nil {
-				warmCycles := c.cycles
-				*c = coreState{
-					cur: c.cur, n: c.n, sum: c.sum,
-					cycles: warmCycles, warmStart: warmCycles,
-				}
+		for _, i := range pick {
+			c := &cores[i]
+			warmCycles := c.cycles
+			*c = coreState{
+				cur: c.cur, n: c.n, sum: c.sum,
+				cycles: warmCycles, warmStart: warmCycles,
 			}
 		}
 		cfg.Meter.Reset()
 	}
-	remaining := active
+	remaining := len(pick)
 	for remaining > 0 {
-		// Pick the lagging core (few cores; linear scan is fastest).
-		// Under fixed-work (Loop) finished cores keep running until every
-		// core completes its first pass; otherwise they stop.
+		// Pick the lagging core. The single-active-core case (every
+		// RunSingle sweep cell) needs no scan at all; multi-core mixes
+		// scan the in-play list — ascending core order, matching the
+		// historical full-array scan's tie-break. Under fixed-work (Loop)
+		// finished cores keep running until every core completes at least
+		// one pass; otherwise they leave the list at first completion.
 		var cs *coreState
 		core := -1
-		for i, c := range cores {
-			if c == nil || (c.finished && !cfg.Loop) {
-				continue
-			}
-			if cs == nil || c.cycles < cs.cycles {
-				cs, core = c, i
+		if len(pick) == 1 {
+			core = pick[0]
+			cs = &cores[core]
+		} else {
+			for _, i := range pick {
+				c := &cores[i]
+				if cs == nil || c.cycles < cs.cycles {
+					cs, core = c, i
+				}
 			}
 		}
 		if cs == nil {
@@ -282,13 +337,22 @@ func Run(cfg Config) *Result {
 				cs.res.Instrs = cs.instrs
 				cs.res.Cycles = cs.cycles - cs.warmStart + cs.sum.L2Hits*trace.L2HitStall
 				remaining--
+				if !cfg.Loop {
+					for k, i := range pick {
+						if i == core {
+							pick = append(pick[:k], pick[k+1:]...)
+							break
+						}
+					}
+				}
 			}
 		}
 	}
 	// Gather totals from frozen per-core results.
+	res.Cores = make([]CoreResult, 0, n)
 	for i := range cfg.Traces {
 		var cr CoreResult
-		if cores[i] != nil {
+		if cores[i].cur != nil {
 			cr = cores[i].res
 		}
 		res.Cores = append(res.Cores, cr)

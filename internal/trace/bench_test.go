@@ -2,6 +2,7 @@ package trace_test
 
 import (
 	"bytes"
+	"path/filepath"
 	"testing"
 
 	"whirlpool/internal/trace"
@@ -84,6 +85,58 @@ func BenchmarkTraceCodecDecode(b *testing.B) {
 		got := &trace.LLCTrace{}
 		if _, err := got.ReadFrom(bytes.NewReader(data)); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceMmapOpen measures opening a .wtrc file for zero-copy
+// reading: header + CRC validation against the mapping, no column
+// decode. This is the fixed cost a warm sweep cell pays before its
+// first (lazy) replay pass.
+func BenchmarkTraceMmapOpen(b *testing.B) {
+	w := benchWorkload(b)
+	tr := trace.FilterPrivate(w.Stream(1))
+	path := filepath.Join(b.TempDir(), "bench.wtrc")
+	if err := trace.WriteFile(path, tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := trace.OpenMapped(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+}
+
+// BenchmarkTraceMmapCursor measures one full lazy-decode replay pass
+// straight out of the mapping — the zero-copy counterpart of
+// TraceCursorScan (heap-resident decode) and, together with TraceMmapOpen,
+// of the eager TraceCodecDecode path it replaces on warm cells.
+func BenchmarkTraceMmapCursor(b *testing.B) {
+	w := benchWorkload(b)
+	tr := trace.FilterPrivate(w.Stream(1))
+	path := filepath.Join(b.TempDir(), "bench.wtrc")
+	if err := trace.WriteFile(path, tr); err != nil {
+		b.Fatal(err)
+	}
+	m, err := trace.OpenMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var n int
+		for cur := m.NewCursor(); ; {
+			if _, ok := cur.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != m.NumAccesses() {
+			b.Fatal("short scan")
 		}
 	}
 }

@@ -113,15 +113,13 @@ func (t *LLCTrace) ReadFrom(r io.Reader) (int64, error) {
 	if v := binary.LittleEndian.Uint16(ver[0:]); v != FormatVersion {
 		return cr.n, fmt.Errorf("trace: unsupported .wtrc version %d (this build reads version %d)", v, FormatVersion)
 	}
-	var h header
-	if err := binary.Read(cr, binary.LittleEndian, &h); err != nil {
+	var hb [headerBytes]byte
+	if _, err := io.ReadFull(cr, hb[:]); err != nil {
 		return cr.n, fmt.Errorf("trace: truncated header: %w", readErr(err))
 	}
-	if h.N > maxSaneAccesses || h.Demand > h.N ||
-		h.LenDeltas > maxSaneBytes || h.LenGaps > maxSaneBytes ||
-		h.LenDeltas > 10*h.N || h.LenGaps > 10*h.N || (h.N > 0 && h.LenDeltas == 0) {
-		return cr.n, fmt.Errorf("trace: corrupt .wtrc header (n=%d demand=%d deltas=%d gaps=%d)",
-			h.N, h.Demand, h.LenDeltas, h.LenGaps)
+	h := decodeHeader(hb[:])
+	if err := h.sane(); err != nil {
+		return cr.n, err
 	}
 	nt := &LLCTrace{
 		Summary: Summary{
@@ -142,13 +140,16 @@ func (t *LLCTrace) ReadFrom(r io.Reader) (int64, error) {
 	if _, err := io.ReadFull(cr, nt.gaps); err != nil {
 		return cr.n, fmt.Errorf("trace: truncated gap column: %w", readErr(err))
 	}
+	// The bitsets stream through one reusable byte buffer and decode in
+	// place (binary.Read would allocate an equal-sized shadow buffer per
+	// column via reflection — the decode path's old double-buffering).
 	words := (h.N + 63) / 64
-	nt.write = make([]uint64, words)
-	nt.wback = make([]uint64, words)
-	for _, dst := range [][]uint64{nt.write, nt.wback} {
-		if err := binary.Read(cr, binary.LittleEndian, dst); err != nil {
+	raw := make([]byte, 8*words)
+	for _, dst := range []*[]uint64{&nt.write, &nt.wback} {
+		if _, err := io.ReadFull(cr, raw); err != nil {
 			return cr.n, fmt.Errorf("trace: truncated flag bitsets: %w", readErr(err))
 		}
+		*dst = decodeBitset(raw)
 	}
 	want := crc.Sum32()
 	var sum [4]byte
@@ -208,8 +209,14 @@ func readErr(err error) error {
 // WriteFile atomically writes the trace to path in .wtrc format: the
 // bytes land in a temp file in the same directory and are renamed into
 // place, so concurrent readers (parallel sweep workers sharing a trace
-// cache) never observe a partial file.
-func WriteFile(path string, t *LLCTrace) error {
+// cache) never observe a partial file. Any TraceReader can be written —
+// non-eager readers (a MappedTrace, an Offset wrapper) are materialized
+// first.
+func WriteFile(path string, r TraceReader) error {
+	t, err := materializeErr(r)
+	if err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, ".wtrc-tmp-*")
 	if err != nil {
@@ -232,15 +239,25 @@ func WriteFile(path string, t *LLCTrace) error {
 	return nil
 }
 
-// ReadFile decodes a .wtrc file.
+// ReadFile eagerly decodes a .wtrc file. The file is mapped (or read
+// whole on platforms without mmap) and parsed straight out of that one
+// image — no intermediate stream buffers — then the mapping is released:
+// the result is an ordinary heap-resident LLCTrace. Use OpenMapped to
+// keep the columns in the mapping instead of copying them out.
 func ReadFile(path string) (*LLCTrace, error) {
-	f, err := os.Open(path)
+	data, unmap, err := readFileBytes(path)
 	if err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	defer f.Close()
-	t := &LLCTrace{}
-	if _, err := t.ReadFrom(f); err != nil {
+	if unmap != nil {
+		defer unmap()
+	}
+	lay, err := parseWTRC(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	t, err := decodeLayout(lay)
+	if err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return t, nil

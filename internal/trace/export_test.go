@@ -1,0 +1,5 @@
+package trace
+
+// SetMmapDisabledForTest force-disables (or re-enables) mmap so tests
+// can exercise OpenMapped's io fallback path deterministically.
+func SetMmapDisabledForTest(v bool) { mmapDisabled.Store(v) }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package trace
+
+// mapFile on platforms without a usable mmap syscall always reports
+// unavailability; OpenMapped then falls back to reading the file through
+// ordinary io (the bytes live on the heap instead of in a mapping, with
+// identical semantics).
+func mapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, errMmapUnavailable
+}

@@ -111,6 +111,52 @@ type Cursor interface {
 	Reset()
 }
 
+// TraceReader is the full trace surface the tooling and harness consume:
+// replayable like any Reader, plus the derived statistics CLI reports
+// print. Both the eager *LLCTrace and the zero-copy *MappedTrace satisfy
+// it, so callers holding a TraceReader never care which decode path
+// produced their trace.
+type TraceReader interface {
+	Reader
+	// DemandAccesses counts non-writeback accesses.
+	DemandAccesses() uint64
+	// LLCAPKI returns demand LLC accesses per kilo-instruction.
+	LLCAPKI() float64
+	// EncodedBytes reports the resident size of the columnar payload.
+	EncodedBytes() int
+}
+
+// Materialize returns an eager, heap-resident LLCTrace equivalent to r:
+// r itself when it already is one, otherwise a replay of r's stream into
+// a fresh encoder (how a mapped or offset trace becomes writable again —
+// WriteFile uses it).
+func Materialize(r Reader) *LLCTrace {
+	t, _ := materializeErr(r)
+	return t
+}
+
+// materializeErr is Materialize plus the cursor's error channel: a
+// replay cut short (mapping closed mid-copy) surfaces instead of
+// silently producing a truncated trace.
+func materializeErr(r Reader) (*LLCTrace, error) {
+	if t, ok := r.(*LLCTrace); ok {
+		return t, nil
+	}
+	t := &LLCTrace{Summary: r.Stats()}
+	cur := r.NewCursor()
+	for {
+		a, ok := cur.Next()
+		if !ok {
+			break
+		}
+		t.Append(a)
+	}
+	if ec, ok := cur.(interface{ Err() error }); ok && ec.Err() != nil {
+		return t, ec.Err()
+	}
+	return t, nil
+}
+
 // LLCTrace is a core's filtered access stream plus the cycle/energy
 // contributions of the private levels. The access stream is stored
 // column-wise — line deltas and instruction gaps as varints, the

@@ -1,0 +1,39 @@
+#!/bin/sh
+# bench-delta.sh — fail loudly when the trace decode path regresses.
+#
+# Compares the freshly generated BENCH_trace.json (make bench-json) against
+# the committed baseline (git HEAD's BENCH_trace.json): any guarded
+# benchmark (TraceCodec*, TraceCursor*, TraceMmap*, FilterPrivate) whose
+# ns/op or allocs/op regressed more than 20% fails the run.
+#
+# Opt-out for known-noisy environments: BENCH_DELTA_SKIP=1 make bench-delta
+#
+# Usage: scripts/bench-delta.sh [BASELINE.json [CURRENT.json]]
+#   BASELINE defaults to HEAD's committed BENCH_trace.json.
+#   CURRENT defaults to the working-tree BENCH_trace.json.
+set -eu
+cd "$(dirname "$0")/.."
+
+if [ "${BENCH_DELTA_SKIP:-0}" = 1 ]; then
+    echo "bench-delta: skipped (BENCH_DELTA_SKIP=1)"
+    exit 0
+fi
+
+current=${2:-BENCH_trace.json}
+if [ ! -f "$current" ]; then
+    echo "bench-delta: $current not found — run 'make bench-json' first" >&2
+    exit 1
+fi
+
+if [ $# -ge 1 ]; then
+    baseline=$1
+else
+    baseline=$(mktemp)
+    trap 'rm -f "$baseline"' EXIT
+    if ! git show HEAD:BENCH_trace.json >"$baseline" 2>/dev/null; then
+        echo "bench-delta: no committed BENCH_trace.json baseline at HEAD; nothing to compare"
+        exit 0
+    fi
+fi
+
+exec go run ./cmd/whirltool benchdelta -max-regress "${BENCH_DELTA_MAX:-20}" "$baseline" "$current"
