@@ -9,7 +9,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X whirlpool/internal/cliutil.buildVersion=$(VERSION)"
 
-.PHONY: build examples test race vet fmt fmt-check bench bench-json bench-delta smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke ci
+.PHONY: build examples test race vet fmt fmt-check bench bench-json bench-delta smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke obs-smoke ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -50,13 +50,14 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 # The perf trajectory: trace-pipeline benchmarks (filter, cursor replay,
-# codec, warm vs cold harness load, one sim pass) rendered as
+# codec, warm vs cold harness load, one sim pass), plus the observability
+# alloc guards (span emission, the traced sweep loop), rendered as
 # BENCH_trace.json. The raw benchmark lines ride along inside the JSON,
 # so benchstat can compare two snapshots:
 #   jq -r '.raw[]' BENCH_trace.json | benchstat /dev/stdin
 bench-json:
-	$(GO) test -run '^$$' -bench 'FilterPrivate|TraceCursor|TraceCodec|TraceMmap|HarnessTrace|SimRun|SweepBatched' \
-		-benchmem -benchtime 200ms -count 1 ./internal/trace/ ./internal/sim/ ./internal/experiments/ \
+	$(GO) test -run '^$$' -bench 'FilterPrivate|TraceCursor|TraceCodec|TraceMmap|HarnessTrace|SimRun|SweepBatched|SpanEmit|SweepSpan' \
+		-benchmem -benchtime 200ms -count 1 ./internal/trace/ ./internal/sim/ ./internal/experiments/ ./internal/obs/ \
 		| $(GO) run ./cmd/whirltool benchjson > BENCH_trace.json
 	@echo "wrote BENCH_trace.json"
 
@@ -155,4 +156,13 @@ fleet-smoke:
 load-smoke:
 	GO="$(GO)" sh scripts/load-smoke.sh
 
-ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke
+# Observability smoke: a 2-worker distributed sweep must collect as ONE
+# trace tree (single root, both workers' spans stitched under the
+# coordinator's job span) fetched from /v1/jobs/{id}/trace and rendered
+# by `whirltool spans`; /metrics?format=prom must lint as valid
+# Prometheus exposition; pprof serves on -debug-addr only. See
+# scripts/obs-smoke.sh.
+obs-smoke:
+	GO="$(GO)" sh scripts/obs-smoke.sh
+
+ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke obs-smoke

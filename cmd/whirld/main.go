@@ -36,6 +36,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -46,6 +47,7 @@ import (
 
 	"whirlpool/internal/cliutil"
 	"whirlpool/internal/fleet"
+	"whirlpool/internal/obs"
 	"whirlpool/internal/results"
 	"whirlpool/internal/server"
 )
@@ -131,6 +133,7 @@ func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "parallel simulation workers per job")
 	queue := flag.Int("queue", 64, "max queued jobs before submits get 503")
 	inflight := flag.String("inflight", "", "per-endpoint concurrency limits as name=N pairs (e.g. results=64,sweeps=8); N<0 lifts an endpoint's default limit; endpoints: sweeps, cells, jobs, stream, rows, results, healthz, metrics")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof profiling on this separate address (e.g. 127.0.0.1:6060); empty disables it")
 	version := cliutil.VersionFlag()
 	flag.Parse()
 	cliutil.HandleVersion("whirld", *version)
@@ -167,16 +170,17 @@ func main() {
 		fatal(err)
 	}
 
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "whirld: "+format+"\n", args...)
-	}
+	// Structured logging with the daemon's traditional line shape:
+	// "whirld: message key=val ..." on stderr, so scripts grepping the
+	// old printf output keep working.
+	logger := obs.NewLogger(os.Stderr, "whirld")
 	srv, err := server.New(server.Config{
 		Store:          store,
 		TraceCacheDir:  cacheDir,
 		Workers:        *parallel,
 		WorkerURLs:     workerURLs,
 		LeaseTTL:       *leaseTTL,
-		Logf:           logf,
+		Log:            logger,
 		QueueDepth:     *queue,
 		EndpointLimits: limits,
 		Version:        cliutil.Version(),
@@ -202,6 +206,28 @@ func main() {
 		fmt.Fprintf(os.Stderr, "whirld: endpoint concurrency limits: %s\n", *inflight)
 	}
 
+	// Profiling stays off the serving listener: pprof handlers leak
+	// internals and hold connections open, so they bind to their own
+	// address (typically loopback) and never share the API's port.
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			store.Close()
+			fatal(fmt.Errorf("-debug-addr: %v", err))
+		}
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		debugSrv = &http.Server{Handler: dmux}
+		go debugSrv.Serve(dln)
+		// Scripts parse this from stdout like the main listen line.
+		fmt.Printf("whirld: debug listening on %s\n", dln.Addr())
+	}
+
 	// Worker mode: join the coordinator's fleet and keep the lease
 	// warm. The agent retries registration until the coordinator is
 	// reachable, so boot order doesn't matter.
@@ -216,7 +242,7 @@ func main() {
 			Advertise:   adv,
 			Capacity:    *parallel,
 			Load:        srv.Load,
-			Logf:        logf,
+			Log:         logger,
 		})
 		if err != nil {
 			store.Close()
@@ -245,6 +271,9 @@ func main() {
 	// SSE streams, then drain HTTP.
 	if agent != nil {
 		agent.Close()
+	}
+	if debugSrv != nil {
+		debugSrv.Close()
 	}
 	srv.Close()
 	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -10,6 +10,8 @@
 //	whirltool trace info dt.wtrc
 //	whirltool trace cat dt.wtrc | head
 //	whirltool load -spec traffic.json -base http://localhost:8080
+//	whirltool spans http://localhost:8080/v1/jobs/j1/trace   # span waterfall
+//	curl -s localhost:8080/metrics?format=prom | whirltool promlint -
 //	go test -bench . -benchmem ./... | whirltool benchjson > BENCH_trace.json
 //
 // Recorded traces replay through every scheme, sweep, and figure via a
@@ -52,6 +54,12 @@ func main() {
 			return
 		case "load":
 			loadCmd(os.Args[2:])
+			return
+		case "spans":
+			spansCmd(os.Args[2:])
+			return
+		case "promlint":
+			promlintCmd(os.Args[2:])
 			return
 		}
 	}

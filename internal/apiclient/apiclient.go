@@ -29,6 +29,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"whirlpool/internal/obs"
 )
 
 // Error is a decoded non-2xx response. It is always returned as *Error
@@ -167,6 +169,7 @@ func (c *Client) Do(ctx context.Context, method, path string, body, out any) err
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	injectTraceparent(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("apiclient: %s %s: %w", method, path, err)
@@ -186,9 +189,43 @@ func (c *Client) Do(ctx context.Context, method, path string, body, out any) err
 	return nil
 }
 
+// injectTraceparent stamps the W3C traceparent header when ctx carries
+// a span context (obs.NewContext), so every API call a traced caller
+// makes joins its trace — this is how a coordinator's job span becomes
+// the parent of a worker's request span across the wire.
+func injectTraceparent(ctx context.Context, req *http.Request) {
+	if sc, ok := obs.FromContext(ctx); ok {
+		req.Header.Set(obs.TraceparentHeader, obs.Traceparent(sc))
+	}
+}
+
 // GetJSON GETs path and decodes the JSON response into out.
 func (c *Client) GetJSON(ctx context.Context, path string, out any) error {
 	return c.Do(ctx, http.MethodGet, path, nil, out)
+}
+
+// GetRaw GETs path and returns the raw response body (capped at 16 MiB)
+// — for non-JSON payloads like the JSONL trace endpoint.
+func (c *Client) GetRaw(ctx context.Context, path string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, fmt.Errorf("apiclient: %v", err)
+	}
+	injectTraceparent(ctx, req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("apiclient: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+		return nil, decodeError(resp, data)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("apiclient: reading %s: %w", path, err)
+	}
+	return data, nil
 }
 
 // PostJSON POSTs body as JSON and decodes the response into out.
@@ -227,6 +264,7 @@ func (c *Client) Stream(ctx context.Context, path string) (*Stream, error) {
 		return nil, fmt.Errorf("apiclient: %v", err)
 	}
 	req.Header.Set("Accept", "text/event-stream")
+	injectTraceparent(ctx, req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("apiclient: stream %s: %w", path, err)

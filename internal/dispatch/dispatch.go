@@ -32,11 +32,13 @@
 package dispatch
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"sort"
@@ -46,6 +48,7 @@ import (
 	"whirlpool/internal/apiclient"
 	"whirlpool/internal/experiments"
 	"whirlpool/internal/fleet"
+	"whirlpool/internal/obs"
 )
 
 // shardRejectedError marks a deterministic worker-side rejection (HTTP
@@ -97,9 +100,16 @@ type Options struct {
 	// Client overrides the HTTP client (tests, timeouts). The default
 	// has no overall timeout: SSE streams live as long as the shard.
 	Client *http.Client
-	// Logf, if set, receives dispatch progress lines (worker deaths,
-	// re-dispatches, rebalances).
-	Logf func(format string, args ...any)
+	// Log, if set, receives dispatch progress events (worker deaths,
+	// re-dispatches, rebalances) with worker/cells fields. Nil discards.
+	Log *slog.Logger
+	// Tracer, if set, records one "dispatch.shard" span per shard POSTed
+	// to a worker (parented under the span context riding the dispatch
+	// Context, so shards hang off the coordinator's job span), propagates
+	// the trace to workers via W3C traceparent on the shard submit, and
+	// stitches each finished worker's span tree back in by fetching its
+	// GET /v1/jobs/{id}/trace. Nil disables tracing.
+	Tracer *obs.Tracer
 	// Quota bounds how many cells one member is assigned per round;
 	// nil means the member's effective capacity (its -parallel slots).
 	// Small quotas mean more rounds and therefore more chances for
@@ -118,7 +128,8 @@ type Options struct {
 type Pool struct {
 	membership fleet.Membership
 	client     *http.Client
-	logf       func(format string, args ...any)
+	log        *slog.Logger
+	tracer     *obs.Tracer
 	quota      func(fleet.Member) int
 	watchEvery time.Duration
 
@@ -128,6 +139,9 @@ type Pool struct {
 	order      []string        // first-seen URL order, for Stats
 	deadKeys   map[string]bool // Member.Key() → died this job
 	rebalances int
+	// redisp marks grid indices of cells that came back from a dead
+	// worker: their next shard span carries redispatched=true.
+	redisp map[int]bool
 }
 
 type workerStats struct {
@@ -145,18 +159,20 @@ func NewPool(m fleet.Membership, opt Options) (*Pool, error) {
 	p := &Pool{
 		membership: m,
 		client:     opt.Client,
-		logf:       opt.Logf,
+		log:        opt.Log,
+		tracer:     opt.Tracer,
 		quota:      opt.Quota,
 		watchEvery: opt.WatchInterval,
 		apis:       map[string]*apiclient.Client{},
 		stats:      map[string]*workerStats{},
 		deadKeys:   map[string]bool{},
+		redisp:     map[int]bool{},
 	}
 	if p.client == nil {
 		p.client = &http.Client{}
 	}
-	if p.logf == nil {
-		p.logf = func(string, ...any) {}
+	if p.log == nil {
+		p.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if p.quota == nil {
 		p.quota = func(m fleet.Member) int { return m.EffectiveCapacity() }
@@ -328,8 +344,8 @@ func (p *Pool) run(ctx context.Context, params JobParams, cells []experiments.Ce
 			p.mu.Lock()
 			p.rebalances++
 			p.mu.Unlock()
-			p.logf("dispatch: membership changed; rebalancing %d pending cells over %d workers",
-				len(pending), len(alive))
+			p.log.Info("dispatch: membership changed; rebalancing",
+				"cells", len(pending), "workers", len(alive))
 		}
 		ran, lastVer = true, snap.Version
 
@@ -415,8 +431,8 @@ func (p *Pool) runRound(ctx context.Context, params JobParams, shards []shardAss
 				// Deterministic rejection: the cells are poison for
 				// every worker, so fail them here instead of killing
 				// the fleet one healthy worker at a time.
-				p.logf("dispatch: worker %s rejected its shard (%v); failing %d cells",
-					m.URL, err, len(undone))
+				p.log.Warn("dispatch: worker rejected its shard; failing cells",
+					"worker", m.URL, "err", err.Error(), "cells", len(undone))
 				p.mu.Lock()
 				p.statsForLocked(m.URL).errors += len(undone)
 				p.mu.Unlock()
@@ -428,9 +444,13 @@ func (p *Pool) runRound(ctx context.Context, params JobParams, shards []shardAss
 			p.mu.Lock()
 			p.deadKeys[m.Key()] = true
 			p.statsForLocked(m.URL).dead = true
+			for _, c := range undone {
+				p.redisp[c.Index] = true
+			}
 			p.mu.Unlock()
-			p.logf("dispatch: worker %s failed (%v) with %d of its %d cells undelivered",
-				m.URL, err, len(undone), len(shard))
+			p.log.Warn("dispatch: worker failed; cells undelivered",
+				"worker", m.URL, "err", err.Error(),
+				"undelivered", len(undone), "shard", len(shard))
 			mu.Lock()
 			next = append(next, undone...)
 			deaths = append(deaths, death{m.URL, len(undone)})
@@ -474,6 +494,43 @@ func (p *Pool) anySurvivors() bool {
 // a lease lost mid-shard (shardCtx canceled by the round's watcher).
 // Canceled rows are never delivered — those cells belong to a survivor.
 func (p *Pool) runShard(jobCtx, shardCtx context.Context, m fleet.Member, params JobParams, shard []experiments.CellRef, deliver func(experiments.CellRef, experiments.SweepRow)) (undelivered []experiments.CellRef, err error) {
+	// One span per shard, parented under whatever span context rides the
+	// job's context (the coordinator's job span). The shard's submit ctx
+	// carries this span, so apiclient stamps it into the POST's
+	// traceparent header and the worker's whole job joins our trace.
+	parent, _ := obs.FromContext(jobCtx)
+	sp := p.tracer.Start(parent, "dispatch.shard")
+	sp.SetStr("worker", m.URL)
+	sp.SetInt("cells", int64(len(shard)))
+	if n := p.countRedispatched(shard); n > 0 {
+		sp.SetBool("redispatched", true)
+		sp.SetInt("redispatched_cells", int64(n))
+		// Mark each moved cell with its own zero-length child span, so a
+		// failover's second placement is visible per cell in the tree.
+		for _, c := range shard {
+			if !p.isRedispatched(c.Index) {
+				continue
+			}
+			name := c.Cell.App
+			if c.Cell.Mix != "" {
+				name = c.Cell.Mix
+			}
+			cellSp := p.tracer.Start(sp.Context(), "dispatch.redispatch")
+			cellSp.SetStr("app", name)
+			cellSp.SetStr("scheme", c.Cell.Scheme)
+			cellSp.SetBool("redispatched", true)
+			cellSp.SetStr("worker", m.URL)
+			cellSp.EndDuration(0)
+		}
+	}
+	defer func() {
+		if err != nil {
+			sp.SetBool("error", true)
+		}
+		sp.End()
+	}()
+	shardCtx = obs.NewContext(shardCtx, sp.Context())
+
 	api, err := p.apiFor(m)
 	if err != nil {
 		return shard, err
@@ -629,7 +686,67 @@ func (p *Pool) runShard(jobCtx, shardCtx context.Context, m fleet.Member, params
 	if doneState != "done" {
 		return leftover(), fmt.Errorf("worker job finished %s", doneState)
 	}
+	p.stitchWorkerTrace(api, id, sp.Context())
 	return leftover(), nil
+}
+
+// countRedispatched counts the shard's cells previously marked as
+// re-dispatched (they came back undelivered from a dead worker).
+func (p *Pool) countRedispatched(shard []experiments.CellRef) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, c := range shard {
+		if p.redisp[c.Index] {
+			n++
+		}
+	}
+	return n
+}
+
+func (p *Pool) isRedispatched(index int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.redisp[index]
+}
+
+// stitchWorkerTrace pulls a finished shard's span tree off the worker
+// (GET /v1/jobs/{id}/trace) and folds it into the coordinator's tracer,
+// so one distributed sweep collects as one tree. Only the subtree
+// parented under this shard's span is taken: a worker serving several
+// shards of the same sweep holds them all under one trace ID, and
+// re-emitting a sibling shard's spans would duplicate them. Strictly
+// best-effort: a worker without the endpoint, or one that died right
+// after its done event, just leaves a gap in the trace.
+func (p *Pool) stitchWorkerTrace(api *apiclient.Client, id string, sc obs.SpanContext) {
+	if p.tracer == nil || !sc.Valid() {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	raw, err := api.GetRaw(ctx, "/v1/jobs/"+id+"/trace")
+	if err != nil {
+		return
+	}
+	spans, err := obs.ParseSpans(bytes.NewReader(raw))
+	if err != nil {
+		return
+	}
+	keep := map[obs.SpanID]bool{sc.Span: true}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range spans {
+			if s.Trace == sc.Trace && !keep[s.ID] && keep[s.Parent] {
+				keep[s.ID] = true
+				changed = true
+			}
+		}
+	}
+	for _, s := range spans {
+		if s.ID != sc.Span && keep[s.ID] {
+			p.tracer.Emit(s)
+		}
+	}
 }
 
 func identOf(c experiments.SweepCell) string {

@@ -13,7 +13,27 @@ import (
 
 	"whirlpool/internal/experiments"
 	"whirlpool/internal/fleet"
+	"whirlpool/internal/obs"
 )
+
+// logCapture is an io.Writer collecting whole log lines for assertions.
+type logCapture struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (c *logCapture) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	c.lines = append(c.lines, strings.TrimRight(string(p), "\n"))
+	c.mu.Unlock()
+	return len(p), nil
+}
+
+func (c *logCapture) all() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.lines...)
+}
 
 func refs(n int) []experiments.CellRef {
 	out := make([]experiments.CellRef, n)
@@ -46,6 +66,9 @@ type fakeWorker struct {
 	seq       int
 	submitted int
 	canceled  int
+	// traceparents records the Traceparent header of each shard submit,
+	// for propagation assertions.
+	traceparents []string
 }
 
 func newFakeWorker(t *testing.T, fp uint64, dieAfter int) (*fakeWorker, *httptest.Server) {
@@ -75,6 +98,7 @@ func (f *fakeWorker) handleCells(w http.ResponseWriter, r *http.Request) {
 	f.submitted += len(req.Cells)
 	id := fmt.Sprintf("j%d", f.seq)
 	f.jobs[id] = req.Cells
+	f.traceparents = append(f.traceparents, r.Header.Get("Traceparent"))
 	f.mu.Unlock()
 	w.WriteHeader(http.StatusAccepted)
 	json.NewEncoder(w).Encode(map[string]any{"id": id})
@@ -190,14 +214,10 @@ func TestPoolRedispatchOnWorkerDeath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var mu sync.Mutex
-	var logged []string
-	p.logf = func(format string, args ...any) {
-		mu.Lock()
-		logged = append(logged, fmt.Sprintf(format, args...))
-		mu.Unlock()
-	}
+	var capture logCapture
+	p.log = obs.NewLogger(&capture, "dispatch")
 	got := collectDelivery(t, p, cells)
+	logged := capture.all()
 	if len(got) != len(cells) {
 		t.Fatalf("delivered %d of %d cells after worker death", len(got), len(cells))
 	}
@@ -686,5 +706,86 @@ func TestPoolNew(t *testing.T) {
 	}
 	if n := len(p.membership.Snapshot().Members); n != 2 {
 		t.Fatalf("dedup left %d workers, want 2", n)
+	}
+}
+
+// TestDispatchShardSpansOnFailover: with a Tracer wired in, every shard
+// of one dispatch — including the re-dispatch after a mid-shard worker
+// death — lands in the caller's single trace, the moved cells carry
+// redispatched=true markers, and the worker submits all received the
+// trace via W3C traceparent.
+func TestDispatchShardSpansOnFailover(t *testing.T) {
+	healthy, healthyTS := newFakeWorker(t, 111, -1)
+	dying, dyingTS := newFakeWorker(t, 666, 2) // 2 rows, then kill -9
+	cells := refs(24)
+	tracer := obs.New(0)
+	p, err := New([]string{healthyTS.URL, dyingTS.URL}, Options{Quota: bigQuota, Tracer: tracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	root := tracer.Start(obs.SpanContext{}, "job")
+	rootSC := root.Context()
+	ctx := obs.NewContext(context.Background(), rootSC)
+	delivered := 0
+	if err := p.Exec(JobParams{Scale: 0.05})(ctx, cells, func(experiments.CellRef, experiments.SweepRow) {
+		delivered++
+	}); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	root.End()
+	if delivered != len(cells) {
+		t.Fatalf("delivered %d of %d cells", delivered, len(cells))
+	}
+
+	spans := tracer.Collect(rootSC.Trace)
+	var shards, redispShards, redispCells int
+	for _, sp := range spans {
+		switch sp.Name {
+		case "dispatch.shard":
+			shards++
+			if v, ok := sp.Attr("redispatched"); ok {
+				if b, _ := v.IsBool(); b {
+					redispShards++
+				}
+			}
+			if _, ok := sp.Attr("worker"); !ok {
+				t.Errorf("shard span without worker attr: %+v", sp)
+			}
+		case "dispatch.redispatch":
+			redispCells++
+			b, ok := sp.Attr("redispatched")
+			if bv, _ := b.IsBool(); !ok || !bv {
+				t.Errorf("redispatch marker span without redispatched=true: %+v", sp)
+			}
+			if sp.Parent.IsZero() {
+				t.Error("redispatch marker span has no parent shard")
+			}
+		}
+	}
+	// Round 1: one shard per worker. Round 2: the dead worker's leftover
+	// cells on the survivor. All in the one trace.
+	if shards != 3 {
+		t.Errorf("dispatch.shard spans = %d, want 3 (2 first-round + 1 failover)", shards)
+	}
+	if redispShards != 1 {
+		t.Errorf("shards marked redispatched = %d, want 1", redispShards)
+	}
+	wantMoved := dying.submitted - 2 // the dying worker delivered 2 rows
+	if redispCells != wantMoved {
+		t.Errorf("redispatch marker spans = %d, want %d", redispCells, wantMoved)
+	}
+
+	// Every shard submit carried the trace to its worker.
+	for _, f := range []*fakeWorker{healthy, dying} {
+		f.mu.Lock()
+		tps := append([]string(nil), f.traceparents...)
+		f.mu.Unlock()
+		for _, tp := range tps {
+			sc, ok := obs.ParseTraceparent(tp)
+			if !ok || sc.Trace != rootSC.Trace {
+				t.Errorf("shard submit traceparent = %q, want trace %s", tp, rootSC.Trace)
+			}
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"whirlpool/internal/noc"
+	"whirlpool/internal/obs"
 	"whirlpool/internal/results"
 	"whirlpool/internal/workloads"
 )
@@ -125,22 +126,24 @@ func (h *Harness) cellKeys(jobs []sweepJob, noBypass bool) []string {
 // memoized error rows, which are never written but could exist in a
 // hand-edited store) are recomputed. The engine's key overrides the
 // stored row's (older stores predate SweepRow.Key).
-func (h *Harness) storeLookup(store *results.Store, keys []string, rows []SweepRow, served []bool) {
+func (h *Harness) storeLookup(store *results.Store, keys []string, rows []SweepRow, served []bool, tr *obs.Tracer, parent obs.SpanContext) {
 	for i, key := range keys {
 		if key == "" {
 			continue // uncacheable: compute, don't store
 		}
+		sp := tr.Start(parent, "store.lookup")
 		rec, ok := store.Get(key)
-		if !ok {
-			continue
+		if ok {
+			var row SweepRow
+			if json.Unmarshal(rec.Row, &row) == nil && row.Err == "" {
+				row.Key = key
+				rows[i] = row
+				served[i] = true
+			}
 		}
-		var row SweepRow
-		if json.Unmarshal(rec.Row, &row) != nil || row.Err != "" {
-			continue
-		}
-		row.Key = key
-		rows[i] = row
-		served[i] = true
+		sp.SetStr("key", key)
+		sp.SetBool("hit", served[i])
+		sp.End()
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"whirlpool/internal/noc"
+	"whirlpool/internal/obs"
 	"whirlpool/internal/results"
 	"whirlpool/internal/schemes"
 	"whirlpool/internal/sim"
@@ -102,6 +103,11 @@ type SweepConfig struct {
 	// summary before Sweep returns (per-sweep accounting even when the
 	// Store is shared by concurrent sweeps).
 	Stats *SweepStats
+	// Tracer, if set, receives per-cell stage spans (store.lookup,
+	// trace.load, sim.run, store.commit), parented under the span
+	// context riding Context (obs.FromContext) when one is present.
+	// Span emission is allocation-free; a nil Tracer costs nothing.
+	Tracer *obs.Tracer
 }
 
 // SweepStats summarizes how one sweep's cells were resolved.
@@ -409,6 +415,10 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 	}
 	rows := make([]SweepRow, len(jobs))
 
+	// Stage spans parent under whatever span context rides the sweep's
+	// context (the daemon's job span; absent on plain CLI runs).
+	spanParent, _ := obs.FromContext(ctx)
+
 	// Stage 0: content-address every cell (always, not just with a
 	// store — rows carry their keys so coordinators can route them and
 	// clients can correlate runs), then serve memoized cells. This
@@ -417,14 +427,14 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 	keys := h.cellKeys(jobs, cfg.NoBypass)
 	served := make([]bool, len(jobs))
 	if cfg.Store != nil {
-		h.storeLookup(cfg.Store, keys, rows, served)
+		h.storeLookup(cfg.Store, keys, rows, served, cfg.Tracer, spanParent)
 	}
 
 	// Stage 1: build every trace an unserved cell needs, concurrently,
 	// each exactly once. Skipped entirely on the remote path: the
 	// simulating workers build their own.
 	if cfg.Remote == nil {
-		h.prefetchTraces(ctx, jobs, served, workers)
+		h.prefetchTraces(ctx, jobs, served, workers, cfg.Tracer, spanParent)
 	}
 
 	// Stage 2: resolve every cell. Served rows stream through the
@@ -439,7 +449,7 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 	if cfg.Remote != nil {
 		execErr = h.runRemote(ctx, &cfg, jobs, rows, keys, served, prog)
 	} else {
-		h.runLocal(ctx, &cfg, jobs, rows, keys, served, prog, workers)
+		h.runLocal(ctx, &cfg, jobs, rows, keys, served, prog, workers, spanParent)
 	}
 
 	if cfg.Stats != nil {
@@ -468,8 +478,10 @@ func (h *Harness) Sweep(cfg SweepConfig) ([]SweepRow, error) {
 }
 
 // prefetchTraces builds each unserved cell's app traces concurrently,
-// each exactly once (stage 1).
-func (h *Harness) prefetchTraces(ctx context.Context, jobs []sweepJob, served []bool, workers int) {
+// each exactly once (stage 1). Each build emits a trace.load span whose
+// mmap attr records whether the trace came up as a zero-copy mapped
+// .wtrc or a heap-decoded stream.
+func (h *Harness) prefetchTraces(ctx context.Context, jobs []sweepJob, served []bool, workers int, tr *obs.Tracer, parent obs.SpanContext) {
 	needed := map[string]bool{}
 	for i, j := range jobs {
 		if served[i] {
@@ -502,7 +514,16 @@ func (h *Harness) prefetchTraces(ctx context.Context, jobs []sweepJob, served []
 				if ctx.Err() != nil {
 					continue // drain without building
 				}
-				_, _ = h.AppErr(a)
+				sp := tr.Start(parent, "trace.load")
+				at, err := h.AppErr(a)
+				sp.SetStr("app", a)
+				if err != nil {
+					sp.SetStr("error", err.Error())
+				} else if at != nil && at.Tr != nil {
+					m, ok := at.Tr.(interface{ Mapped() bool })
+					sp.SetBool("mmap", ok && m.Mapped())
+				}
+				sp.End()
 			}
 		}()
 	}
@@ -523,7 +544,7 @@ func (h *Harness) prefetchTraces(ctx context.Context, jobs []sweepJob, served []
 // still commits to the store and emits progress individually. Large
 // groups are chunked so a sweep dominated by one app still spreads
 // across the pool.
-func (h *Harness) runLocal(ctx context.Context, cfg *SweepConfig, jobs []sweepJob, rows []SweepRow, keys []string, served []bool, prog *sweepProgress, workers int) {
+func (h *Harness) runLocal(ctx context.Context, cfg *SweepConfig, jobs []sweepJob, rows []SweepRow, keys []string, served []bool, prog *sweepProgress, workers int, spanParent obs.SpanContext) {
 	batches := batchByApp(jobs, served, workers)
 	work := make(chan []int, len(batches))
 	for _, b := range batches {
@@ -543,12 +564,30 @@ func (h *Harness) runLocal(ctx context.Context, cfg *SweepConfig, jobs []sweepJo
 						prog.emit(rows[i])
 						continue
 					}
+					cell := cfg.Tracer.Start(spanParent, "sweep.cell")
+					cell.SetStr("app", jobs[i].name())
+					cell.SetStr("scheme", jobs[i].kind.ID())
+					sp := cfg.Tracer.Start(cell.Context(), "sim.run")
+					sp.SetStr("app", jobs[i].name())
+					sp.SetStr("scheme", jobs[i].kind.ID())
+					if m := jobs[i].mix; m != nil {
+						sp.SetInt("cells", int64(len(m.Apps)))
+					} else {
+						sp.SetInt("cells", 1)
+					}
 					row := h.runSweepJob(jobs[i], cfg.NoBypass, runner)
+					sp.End()
 					row.Key = keys[i]
 					rows[i] = row
 					if cfg.Store != nil {
+						sp = cfg.Tracer.Start(cell.Context(), "store.commit")
 						storeCommit(cfg.Store, keys[i], row)
+						sp.End()
 					}
+					if row.Err != "" {
+						cell.SetBool("error", true)
+					}
+					cell.End()
 					prog.emit(row)
 				}
 			}

@@ -3,6 +3,8 @@ package fleet
 import (
 	"context"
 	"errors"
+	"io"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"sync"
@@ -50,8 +52,8 @@ type AgentOptions struct {
 	Load func() Load
 	// Client overrides the HTTP client (tests).
 	Client *http.Client
-	// Logf, if set, receives join/lease events.
-	Logf func(format string, args ...any)
+	// Log, if set, receives join/lease events. Nil discards.
+	Log *slog.Logger
 }
 
 // Agent is the worker side of the fleet protocol: it registers with
@@ -82,8 +84,8 @@ func StartAgent(opt AgentOptions) (*Agent, error) {
 	if err != nil {
 		return nil, err
 	}
-	if opt.Logf == nil {
-		opt.Logf = func(string, ...any) {}
+	if opt.Log == nil {
+		opt.Log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	if opt.Load == nil {
 		opt.Load = func() Load { return Load{} }
@@ -128,8 +130,8 @@ func (a *Agent) run(ctx context.Context) {
 			if ctx.Err() != nil {
 				return
 			}
-			a.opt.Logf("fleet: registering with %s failed (%v); retrying in %s",
-				a.api.Base(), err, backoff)
+			a.opt.Log.Warn("fleet: registering failed; will retry",
+				"coordinator", a.api.Base(), "err", err.Error(), "backoff", backoff.String())
 			if !sleep(ctx, backoff) {
 				return
 			}
@@ -137,8 +139,9 @@ func (a *Agent) run(ctx context.Context) {
 			continue
 		}
 		backoff = 250 * time.Millisecond
-		a.opt.Logf("fleet: joined %s as %s (lease %.1fs, heartbeating every %.1fs)",
-			a.api.Base(), reg.ID, reg.LeaseTTLS, reg.HeartbeatS)
+		a.opt.Log.Info("fleet: joined",
+			"coordinator", a.api.Base(), "worker", reg.ID, "epoch", reg.Epoch,
+			"lease_s", reg.LeaseTTLS, "heartbeat_s", reg.HeartbeatS)
 		a.heartbeatLoop(ctx, reg)
 	}
 }
@@ -186,11 +189,11 @@ func (a *Agent) heartbeatLoop(ctx context.Context, reg registerResponse) {
 		}
 		var ae *apiclient.Error
 		if errors.As(err, &ae) && ae.Status == http.StatusNotFound {
-			a.opt.Logf("fleet: lease for %s gone at the coordinator; re-registering", reg.ID)
+			a.opt.Log.Warn("fleet: lease gone at the coordinator; re-registering", "worker", reg.ID)
 			return
 		}
-		a.opt.Logf("fleet: heartbeat to %s failed (%v); lease expires if this persists",
-			a.api.Base(), err)
+		a.opt.Log.Warn("fleet: heartbeat failed; lease expires if this persists",
+			"coordinator", a.api.Base(), "err", err.Error())
 	}
 }
 

@@ -2,12 +2,27 @@ package fleet
 
 import (
 	"encoding/json"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
+
+	"whirlpool/internal/obs"
 )
+
+// testLog adapts t.Logf into the slog logger the agent expects.
+func testLog(t *testing.T) *slog.Logger {
+	return obs.NewLogger(testLogWriter{t}, "agent")
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", strings.TrimRight(string(p), "\n"))
+	return len(p), nil
+}
 
 // coordStub is a minimal coordinator speaking the /v1/workers protocol
 // over a real Registry, standing in for internal/server in agent tests.
@@ -81,7 +96,7 @@ func TestAgentRegistersAndHeartbeats(t *testing.T) {
 		Advertise:   "http://worker:8081",
 		Capacity:    3,
 		Load:        func() Load { loads++; return Load{InflightCells: 2} },
-		Logf:        t.Logf,
+		Log:         testLog(t),
 	})
 	if err != nil {
 		t.Fatalf("StartAgent: %v", err)
@@ -134,7 +149,7 @@ func TestAgentCloseDeregisters(t *testing.T) {
 func TestAgentReregistersAfterLeaseLoss(t *testing.T) {
 	c := newCoordStub(t, 300*time.Millisecond)
 	a, err := StartAgent(AgentOptions{
-		Coordinator: c.srv.URL, Advertise: "http://worker:8081", Capacity: 1, Logf: t.Logf,
+		Coordinator: c.srv.URL, Advertise: "http://worker:8081", Capacity: 1, Log: testLog(t),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -22,6 +22,8 @@ package fleet
 
 import (
 	"fmt"
+	"io"
+	"log/slog"
 	"net/url"
 	"strings"
 	"sync"
@@ -131,9 +133,9 @@ type RegistryOptions struct {
 	LeaseTTL time.Duration
 	// Now overrides the clock (tests). Defaults to time.Now.
 	Now func() time.Time
-	// Logf, if set, receives membership events (joins, expiries,
-	// departures).
-	Logf func(format string, args ...any)
+	// Log, if set, receives membership events (joins, expiries,
+	// departures) with worker/epoch fields attached. Nil discards.
+	Log *slog.Logger
 }
 
 // RegistryStats are the registry's monotonic counters plus the current
@@ -189,9 +191,9 @@ type workerRec struct {
 // the clock on every read, so there is no background goroutine to
 // leak and tests drive time explicitly.
 type Registry struct {
-	ttl  time.Duration
-	now  func() time.Time
-	logf func(format string, args ...any)
+	ttl time.Duration
+	now func() time.Time
+	log *slog.Logger
 
 	mu      sync.Mutex
 	byURL   map[string]*workerRec
@@ -211,7 +213,7 @@ func NewRegistry(opt RegistryOptions) *Registry {
 	r := &Registry{
 		ttl:   opt.LeaseTTL,
 		now:   opt.Now,
-		logf:  opt.Logf,
+		log:   opt.Log,
 		byURL: map[string]*workerRec{},
 		byID:  map[string]*workerRec{},
 	}
@@ -221,8 +223,8 @@ func NewRegistry(opt RegistryOptions) *Registry {
 	if r.now == nil {
 		r.now = time.Now
 	}
-	if r.logf == nil {
-		r.logf = func(string, ...any) {}
+	if r.log == nil {
+		r.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return r
 }
@@ -282,8 +284,9 @@ func (r *Registry) Register(rawURL string, capacity int) (Member, time.Duration,
 	if rejoin {
 		verb = "re-joined"
 	}
-	r.logf("fleet: worker %s %s as %s (capacity %d, lease %s, epoch %d)",
-		u, verb, rec.id, capacity, r.ttl, rec.epoch)
+	r.log.Info("fleet: worker "+verb,
+		"worker", rec.id, "url", u, "capacity", capacity,
+		"lease", r.ttl.String(), "epoch", rec.epoch)
 	return rec.member(), r.ttl, nil
 }
 
@@ -348,7 +351,7 @@ func (r *Registry) Deregister(id string) error {
 	rec.reason = "left"
 	r.departures++
 	r.version++
-	r.logf("fleet: worker %s (%s) left the fleet", rec.url, rec.id)
+	r.log.Info("fleet: worker left", "worker", rec.id, "url", rec.url)
 	return nil
 }
 
@@ -424,8 +427,9 @@ func (r *Registry) pruneLocked(now time.Time) {
 		rec.reason = "lease expired"
 		r.leasesExpired++
 		r.version++
-		r.logf("fleet: worker %s (%s) lease expired after %.1fs of silence; marked dead",
-			rec.url, rec.id, now.Sub(rec.lastBeat).Seconds())
+		r.log.Warn("fleet: lease expired; marked dead",
+			"worker", rec.id, "url", rec.url, "epoch", rec.epoch,
+			"silence_s", fmt.Sprintf("%.1f", now.Sub(rec.lastBeat).Seconds()))
 	}
 }
 

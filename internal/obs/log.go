@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// NewLogger returns a *slog.Logger whose handler writes the daemon's
+// traditional line shape —
+//
+//	prefix: message key=val key=val
+//
+// — so scripts that grep "whirld: …" keep working while call sites
+// gain structured job/worker/epoch/trace fields. Records at Info and
+// above are emitted; Debug is dropped.
+func NewLogger(w io.Writer, prefix string) *slog.Logger {
+	return slog.New(&lineHandler{w: w, prefix: prefix, mu: &sync.Mutex{}})
+}
+
+type lineHandler struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	prefix string
+	attrs  []slog.Attr // pre-bound via With(...)
+	group  string      // dotted key prefix from WithGroup
+}
+
+func (h *lineHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= slog.LevelInfo
+}
+
+func (h *lineHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	if h.prefix != "" {
+		b.WriteString(h.prefix)
+		b.WriteString(": ")
+	}
+	if r.Level >= slog.LevelError {
+		b.WriteString("error: ")
+	} else if r.Level >= slog.LevelWarn {
+		b.WriteString("warning: ")
+	}
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		writeAttr(&b, "", a) // group already folded into keys by WithAttrs
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.group, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func writeAttr(b *strings.Builder, group string, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	if a.Value.Kind() == slog.KindGroup {
+		g := a.Key
+		if group != "" {
+			g = group + "." + g
+		}
+		for _, ga := range a.Value.Group() {
+			writeAttr(b, g, ga)
+		}
+		return
+	}
+	b.WriteByte(' ')
+	if group != "" {
+		b.WriteString(group)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	v := a.Value.Resolve().String()
+	if v == "" || strings.ContainsAny(v, " \t\n\"") {
+		fmt.Fprintf(b, "%q", v)
+	} else {
+		b.WriteString(v)
+	}
+}
+
+func (h *lineHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	nh := *h
+	nh.attrs = make([]slog.Attr, 0, len(h.attrs)+len(attrs))
+	nh.attrs = append(nh.attrs, h.attrs...)
+	for _, a := range attrs {
+		if h.group != "" {
+			a.Key = h.group + "." + a.Key
+		}
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+func (h *lineHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	if h.group != "" {
+		nh.group = h.group + "." + name
+	} else {
+		nh.group = name
+	}
+	return &nh
+}

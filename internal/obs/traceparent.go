@@ -1,0 +1,93 @@
+package obs
+
+// W3C Trace Context "traceparent" header support. The header is the
+// fleet's only propagation channel: the coordinator stamps it on shard
+// POSTs, workers parent their job span under it, and the stitched tree
+// comes back as one trace. Format (version 00):
+//
+//	00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01
+//	^^ ^^^^^^^^^^^^ trace-id (32 hex) ^^ span-id (16 hex) ^^ flags
+
+// TraceparentHeader is the canonical header name (lowercase per spec;
+// net/http canonicalizes on the wire).
+const TraceparentHeader = "traceparent"
+
+const traceparentLen = 2 + 1 + 32 + 1 + 16 + 1 + 2
+
+// ParseTraceparent decodes a traceparent header. Malformed input —
+// wrong length, bad hex, unknown version ff, all-zero IDs — returns
+// ok=false, which callers treat as "start a fresh root trace".
+func ParseTraceparent(h string) (SpanContext, bool) {
+	if len(h) < traceparentLen {
+		return SpanContext{}, false
+	}
+	// Future versions may append fields after the flags; accept them
+	// but require a dash separator (per spec, version 00 must be
+	// exactly 55 chars).
+	if len(h) > traceparentLen {
+		if h[:2] == "00" || h[traceparentLen] != '-' {
+			return SpanContext{}, false
+		}
+	}
+	if h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return SpanContext{}, false
+	}
+	ver, ok := hexByte(h[0], h[1])
+	if !ok || ver == 0xff {
+		return SpanContext{}, false
+	}
+	var sc SpanContext
+	for i := 0; i < 16; i++ {
+		b, ok := hexByte(h[3+2*i], h[4+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sc.Trace[i] = b
+	}
+	for i := 0; i < 8; i++ {
+		b, ok := hexByte(h[36+2*i], h[37+2*i])
+		if !ok {
+			return SpanContext{}, false
+		}
+		sc.Span[i] = b
+	}
+	if _, ok := hexByte(h[53], h[54]); !ok {
+		return SpanContext{}, false
+	}
+	if !sc.Valid() {
+		return SpanContext{}, false
+	}
+	return sc, true
+}
+
+// Traceparent renders sc as a version-00 traceparent value with the
+// sampled flag set. Invalid contexts render as "".
+func Traceparent(sc SpanContext) string {
+	if !sc.Valid() {
+		return ""
+	}
+	var buf [traceparentLen]byte
+	b := append(buf[:0], '0', '0', '-')
+	b = appendHex(b, sc.Trace[:])
+	b = append(b, '-')
+	b = appendHex(b, sc.Span[:])
+	b = append(b, '-', '0', '1')
+	return string(b)
+}
+
+func hexVal(c byte) (byte, bool) {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0', true
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10, true
+	}
+	// Uppercase hex is invalid in traceparent per spec.
+	return 0, false
+}
+
+func hexByte(hi, lo byte) (byte, bool) {
+	h, ok1 := hexVal(hi)
+	l, ok2 := hexVal(lo)
+	return h<<4 | l, ok1 && ok2
+}

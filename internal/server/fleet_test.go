@@ -32,7 +32,7 @@ func newElasticCoordinator(t *testing.T, ttl time.Duration) (*Server, *httptest.
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(Config{Store: store, Workers: 2, LeaseTTL: ttl, Version: "coord", Logf: t.Logf})
+	srv, err := New(Config{Store: store, Workers: 2, LeaseTTL: ttl, Version: "coord"})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"whirlpool/internal/experiments"
+	"whirlpool/internal/obs"
 	"whirlpool/internal/schemes"
 	"whirlpool/internal/spec"
 )
@@ -28,6 +29,11 @@ type job struct {
 	// specFile is the parsed inline spec, registered when the job runs
 	// (not at submit, so rejected submits don't touch the registry).
 	specFile *spec.File
+	// parentSC is the span context of the submit request (which itself
+	// honors any inbound traceparent): the job's root span is parented
+	// under it, so a coordinator-submitted shard job joins the
+	// coordinator's trace. Zero when the submit was untraced.
+	parentSC obs.SpanContext
 
 	mu        sync.Mutex
 	state     string // queued | running | done | failed | canceled
@@ -44,6 +50,9 @@ type job struct {
 	// changed is closed and replaced on every state/row update — a
 	// broadcast that wakes all SSE subscribers at once.
 	changed chan struct{}
+	// traceSC is the job's own root span context, set when the job
+	// starts running; GET /v1/jobs/{id}/trace collects by its trace ID.
+	traceSC obs.SpanContext
 }
 
 func isTerminal(state string) bool {
@@ -115,6 +124,21 @@ func (j *job) requestCancel() {
 	}
 }
 
+// setTrace records the job's root span context (once, when it starts).
+func (j *job) setTrace(sc obs.SpanContext) {
+	j.mu.Lock()
+	j.traceSC = sc
+	j.mu.Unlock()
+}
+
+// traceContext returns the job's root span context (zero before the
+// job has started running).
+func (j *job) traceContext() obs.SpanContext {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.traceSC
+}
+
 // countMarshalErrOnce reports whether the row at this ordinal has not
 // been counted as a marshal failure yet, marking it counted.
 func (j *job) countMarshalErrOnce(idx int) bool {
@@ -157,6 +181,9 @@ func (j *job) status() map[string]any {
 	}
 	if j.stats.Canceled > 0 {
 		st["cells_canceled"] = j.stats.Canceled
+	}
+	if j.traceSC.Valid() {
+		st["trace_id"] = j.traceSC.Trace.String()
 	}
 	if len(j.stats.Workers) > 0 {
 		st["workers"] = j.stats.Workers

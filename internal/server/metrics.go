@@ -63,8 +63,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.metricsTree())
 	case "flat":
 		writeJSON(w, http.StatusOK, s.metricsFlat())
+	case "prom":
+		s.writeProm(w)
 	default:
-		httpErr(w, http.StatusBadRequest, errBadRequest, "unknown format %q (valid: json, flat)", format)
+		httpErr(w, http.StatusBadRequest, errBadRequest, "unknown format %q (valid: json, flat, prom)", format)
 	}
 }
 
@@ -100,7 +102,11 @@ func (s *Server) metricsTree() map[string]any {
 			"uptime_s":   int64(time.Since(s.started).Seconds()),
 			"goroutines": runtime.NumGoroutine(),
 			"shed":       s.metrics.shed.Load(),
+			"spans":      s.tracer.Total(),
 			"endpoints":  eps,
+		},
+		"runtime": map[string]any{
+			"goroutines": runtime.NumGoroutine(),
 		},
 		"jobs": map[string]any{
 			"submitted": s.metrics.jobsSubmitted.Load(),
@@ -178,7 +184,9 @@ func (s *Server) metricsFlat() map[string]any {
 		"store.index_rebuilds":          st.IndexRebuilds,
 		"store.records":                 st.Records,
 		"goroutines":                    runtime.NumGoroutine(),
+		"runtime.goroutines":            runtime.NumGoroutine(),
 		"server.shed":                   s.metrics.shed.Load(),
+		"server.spans":                  s.tracer.Total(),
 	}
 	s.dispMu.Lock()
 	for _, url := range s.dispOrder {

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync/atomic"
 	"time"
+
+	"whirlpool/internal/obs"
 )
 
 // endpoint is the per-route serving state: a latency histogram, an
@@ -12,7 +14,10 @@ import (
 // route is overdriven. One endpoint may cover several routes (all the
 // /v1/jobs reads are one "jobs" endpoint).
 type endpoint struct {
-	name     string
+	name string
+	// spanName is the request span's name ("http." + name), precomputed
+	// so span emission never concatenates on the request path.
+	spanName string
 	limit    int64 // 0 = unlimited
 	inflight atomic.Int64
 	requests atomic.Int64
@@ -32,6 +37,7 @@ var defaultLimits = map[string]int{
 	"jobs":    256,
 	"stream":  128,
 	"rows":    64,
+	"trace":   64,
 	"results": 256,
 	"workers": 256,
 	"healthz": 0,
@@ -65,17 +71,36 @@ func (s *Server) newEndpoint(name string) *endpoint {
 	if limit < 0 {
 		limit = 0
 	}
-	ep := &endpoint{name: name, limit: int64(limit)}
+	ep := &endpoint{name: name, limit: int64(limit), spanName: "http." + name}
 	s.endpoints = append(s.endpoints, ep)
 	return ep
 }
 
 // route registers pattern on the mux wrapped in the endpoint's
 // instrumentation: admission first (shed with 429 + Retry-After beyond
-// the concurrency limit), then latency measurement into the histogram.
+// the concurrency limit), then latency measurement into the histogram
+// and a request span into the tracer.
 func (s *Server) route(pattern, name string, h http.HandlerFunc) {
-	ep := s.newEndpoint(name)
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+	s.mux.HandleFunc(pattern, s.instrument(s.newEndpoint(name), false, h))
+}
+
+// routeTraced is route plus span-context injection: the handler's
+// request context carries the request span (obs.FromContext), so jobs
+// built there inherit the caller's trace. Injection costs ~3 small
+// allocations per request (context.WithValue + Request.WithContext),
+// which is why it is opt-in per route instead of universal — the warm
+// /v1/results path must stay allocation-free.
+func (s *Server) routeTraced(pattern, name string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(s.newEndpoint(name), true, h))
+}
+
+// instrument wraps h in ep's admission control, latency accounting,
+// and per-request span. The span honors an inbound W3C traceparent
+// header (joining the caller's trace); a malformed or absent header
+// starts a fresh root. Split out from route so tests can measure the
+// wrapper's allocation cost directly.
+func (s *Server) instrument(ep *endpoint, injectCtx bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		ep.requests.Add(1)
 		if ep.limit > 0 {
 			if ep.inflight.Add(1) > ep.limit {
@@ -88,10 +113,20 @@ func (s *Server) route(pattern, name string, h http.HandlerFunc) {
 			}
 			defer ep.inflight.Add(-1)
 		}
+		// "Traceparent" (pre-canonicalized) keeps Header.Get from
+		// re-canonicalizing — and allocating — on every request.
+		parent, _ := obs.ParseTraceparent(r.Header.Get("Traceparent"))
+		sp := s.tracer.Start(parent, ep.spanName)
+		sp.SetStr("path", r.URL.Path)
+		if injectCtx {
+			r = r.WithContext(obs.NewContext(r.Context(), sp.Context()))
+		}
 		start := time.Now()
 		h(w, r)
-		ep.hist.observe(time.Since(start).Microseconds())
-	})
+		lat := time.Since(start)
+		ep.hist.observe(lat.Microseconds())
+		sp.EndDuration(lat)
+	}
 }
 
 // endpointStats renders one endpoint's /metrics object.

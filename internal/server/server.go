@@ -27,6 +27,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -38,6 +40,7 @@ import (
 	"whirlpool/internal/dispatch"
 	"whirlpool/internal/experiments"
 	"whirlpool/internal/fleet"
+	"whirlpool/internal/obs"
 	"whirlpool/internal/results"
 	"whirlpool/internal/schemes"
 	"whirlpool/internal/spec"
@@ -72,9 +75,10 @@ type Config struct {
 	// its connection had dropped mid-shard. <= 0 means the fleet
 	// default (10s).
 	LeaseTTL time.Duration
-	// Logf, when non-nil, receives fleet membership and dispatch
-	// rebalance logs (whirld passes log.Printf).
-	Logf func(format string, args ...any)
+	// Log, when non-nil, receives structured job, fleet membership, and
+	// dispatch logs (whirld passes an obs.NewLogger writing the classic
+	// "whirld: msg key=val" lines to stderr). Nil discards.
+	Log *slog.Logger
 	// JobWorkers bounds how many jobs run concurrently; <= 0 means 1
 	// (FIFO jobs, each fanning cells across Workers — the right
 	// throughput model for CPU-bound simulation).
@@ -130,7 +134,12 @@ type Server struct {
 	// fleet is the worker registry: static members seeded from
 	// cfg.WorkerURLs plus leased members joining via /v1/workers.
 	fleet *fleet.Registry
-	logf  func(format string, args ...any)
+	log   *slog.Logger
+
+	// tracer is the daemon's span ring: every request span, job span,
+	// and sweep stage span lands here, and GET /v1/jobs/{id}/trace
+	// serves a job's tree from it.
+	tracer *obs.Tracer
 
 	// cellsDone counts rows landed across all jobs (the throughput
 	// numerator for Load's cells/sec); loadAt/loadCells are the
@@ -200,11 +209,12 @@ func New(cfg Config) (*Server, error) {
 		queue:   make(chan *job, cfg.QueueDepth),
 		started: time.Now(),
 	}
-	s.logf = cfg.Logf
-	if s.logf == nil {
-		s.logf = func(string, ...any) {}
+	s.log = cfg.Log
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
-	s.fleet = fleet.NewRegistry(fleet.RegistryOptions{LeaseTTL: cfg.LeaseTTL, Logf: s.logf})
+	s.tracer = obs.New(0)
+	s.fleet = fleet.NewRegistry(fleet.RegistryOptions{LeaseTTL: cfg.LeaseTTL, Log: s.log})
 	for _, u := range cfg.WorkerURLs {
 		if err := s.fleet.AddStatic(u, 0); err != nil {
 			cancel()
@@ -214,13 +224,18 @@ func New(cfg Config) (*Server, error) {
 	s.mux = http.NewServeMux()
 	// Routes sharing a name share one endpoint: one concurrency limit,
 	// one latency histogram (server.endpoints.<name> in /metrics).
-	s.route("POST /v1/sweeps", "sweeps", s.handleSubmit)
-	s.route("POST /v1/cells", "cells", s.handleCells)
+	// routeTraced additionally threads the request span's context into
+	// the handler (submit paths, where the job must inherit the caller's
+	// trace); plain route skips that injection so hot read paths like
+	// /v1/results stay allocation-free.
+	s.routeTraced("POST /v1/sweeps", "sweeps", s.handleSubmit)
+	s.routeTraced("POST /v1/cells", "cells", s.handleCells)
 	s.route("GET /v1/jobs", "jobs", s.handleJobs)
 	s.route("GET /v1/jobs/{id}", "jobs", s.handleJob)
 	s.route("DELETE /v1/jobs/{id}", "jobs", s.handleCancel)
 	s.route("GET /v1/jobs/{id}/stream", "stream", s.handleStream)
 	s.route("GET /v1/jobs/{id}/rows", "rows", s.handleRows)
+	s.route("GET /v1/jobs/{id}/trace", "trace", s.handleTrace)
 	s.route("GET /v1/results", "results", s.handleResults)
 	s.route("POST /v1/workers", "workers", s.handleWorkerRegister)
 	s.route("GET /v1/workers", "workers", s.handleWorkersList)
@@ -305,6 +320,29 @@ func (s *Server) runJob(j *job) {
 	j.start(cancel)
 	defer cancel()
 
+	// The job's root span: child of the submit request's span (same
+	// trace as the caller — for shard jobs, the coordinator's trace),
+	// or a fresh root when the submit was untraced. Every sweep stage
+	// span below parents under it via the context.
+	jobSpan := s.tracer.Start(j.parentSC, "job")
+	jobSpan.SetStr("id", j.id)
+	jobSpan.SetInt("cells", int64(j.total))
+	if j.cells != nil {
+		jobSpan.SetBool("shard", true)
+	}
+	j.setTrace(jobSpan.Context())
+	ctx = obs.NewContext(ctx, jobSpan.Context())
+	s.log.Info("job started", "job", j.id, "cells", j.total, "trace", jobSpan.Trace.String())
+
+	// fail finishes the job (and its span) on pre-sweep errors.
+	fail := func(msg string) {
+		s.metrics.jobsFailed.Add(1)
+		j.finish(nil, experiments.SweepStats{}, "failed", msg)
+		jobSpan.SetStr("state", "failed")
+		jobSpan.End()
+		s.log.Warn("job failed", "job", j.id, "err", msg)
+	}
+
 	if j.specFile != nil {
 		// Registration is what makes the spec's apps (and mix members)
 		// resolvable; deferred to run time so rejected submits leave the
@@ -314,8 +352,7 @@ func (s *Server) runJob(j *job) {
 		_, err := j.specFile.Register()
 		s.regMu.Unlock()
 		if err != nil {
-			s.metrics.jobsFailed.Add(1)
-			j.finish(nil, experiments.SweepStats{}, "failed", err.Error())
+			fail(err.Error())
 			return
 		}
 	}
@@ -340,6 +377,7 @@ func (s *Server) runJob(j *job) {
 		Context:  ctx,
 		Store:    s.cfg.Store,
 		Stats:    &stats,
+		Tracer:   s.tracer,
 		OnRow: func(done, total int, row experiments.SweepRow) {
 			s.cellsDone.Add(1)
 			j.addRow(done, total, row)
@@ -354,16 +392,14 @@ func (s *Server) runJob(j *job) {
 	var pool *dispatch.Pool
 	if j.cells == nil && len(s.fleet.Snapshot().Members) > 0 {
 		var perr error
-		pool, perr = dispatch.NewPool(s.fleet, dispatch.Options{Logf: s.logf})
+		pool, perr = dispatch.NewPool(s.fleet, dispatch.Options{Log: s.log, Tracer: s.tracer})
 		if perr != nil {
-			s.metrics.jobsFailed.Add(1)
-			j.finish(nil, experiments.SweepStats{}, "failed", perr.Error())
+			fail(perr.Error())
 			return
 		}
 		forward, ferr := forwardSpec(j)
 		if ferr != nil {
-			s.metrics.jobsFailed.Add(1)
-			j.finish(nil, experiments.SweepStats{}, "failed", ferr.Error())
+			fail(ferr.Error())
 			return
 		}
 		cfg.Remote = pool.Exec(dispatch.JobParams{
@@ -388,21 +424,30 @@ func (s *Server) runJob(j *job) {
 	}
 	s.metrics.rowsServed.Add(int64(stats.Served))
 	s.metrics.rowsComputed.Add(int64(stats.Computed))
+	final := "done"
 	switch {
 	case ctx.Err() != nil:
 		s.metrics.jobsCanceled.Add(1)
-		j.finish(rows, stats, "canceled", ctx.Err().Error())
+		final = "canceled"
+		j.finish(rows, stats, final, ctx.Err().Error())
 	case err != nil:
 		s.metrics.jobsFailed.Add(1)
-		j.finish(rows, stats, "failed", err.Error())
+		final = "failed"
+		j.finish(rows, stats, final, err.Error())
 	default:
 		s.metrics.jobsDone.Add(1)
-		state, msg := "done", ""
+		msg := ""
 		if stats.Errors > 0 {
 			msg = fmt.Sprintf("%d of %d cells failed", stats.Errors, len(rows))
 		}
-		j.finish(rows, stats, state, msg)
+		j.finish(rows, stats, final, msg)
 	}
+	jobSpan.SetInt("served", int64(stats.Served))
+	jobSpan.SetInt("computed", int64(stats.Computed))
+	jobSpan.SetStr("state", final)
+	jobSpan.End()
+	s.log.Info("job finished", "job", j.id, "state", final,
+		"served", stats.Served, "computed", stats.Computed, "errors", stats.Errors)
 }
 
 // forwardSpec builds the workload spec a coordinator ships with every
@@ -521,6 +566,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
+	j.parentSC, _ = obs.FromContext(r.Context())
 	s.enqueue(w, j)
 }
 
@@ -543,6 +589,7 @@ func (s *Server) handleCells(w http.ResponseWriter, r *http.Request) {
 		httpErr(w, http.StatusBadRequest, errBadRequest, "%v", err)
 		return
 	}
+	j.parentSC, _ = obs.FromContext(r.Context())
 	if s.enqueue(w, j) {
 		s.metrics.shardJobs.Add(1)
 	}
@@ -855,6 +902,14 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	for {
 		rows, next, terminal := j.wait(cursor, r.Context(), s.baseCtx)
 		for i, row := range rows {
+			// A client gone mid-replay must release the connection (and
+			// the endpoint's inflight slot) now, not after the remaining
+			// rows are serialized into a dead socket — on a big replay
+			// that lag kept the stream gauge inflated long after the
+			// disconnect.
+			if r.Context().Err() != nil {
+				return
+			}
 			data, err := json.Marshal(row)
 			if err != nil {
 				// Never swallow a row: an unmarshalable cell (e.g. a NaN
@@ -965,6 +1020,33 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	rawRowsPool.Put(ptr)
 }
 
+// handleTrace serves a job's span tree as JSONL (one obs span per
+// line, sorted by start time): the job's root span, the per-cell stage
+// spans beneath it, and — for coordinator jobs — the stitched spans
+// fetched back from each worker's shard job. Available as soon as the
+// job starts running; before that there is no trace yet.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.job(w, r)
+	if j == nil {
+		return
+	}
+	sc := j.traceContext()
+	if !sc.Valid() {
+		httpErr(w, http.StatusConflict, errJobNotFinished, "job %s has not started; no trace recorded yet", j.id)
+		return
+	}
+	spans := s.tracer.Collect(sc.Trace)
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.Header().Set("Trace-Id", sc.Trace.String())
+	w.WriteHeader(http.StatusOK)
+	buf := make([]byte, 0, 512)
+	for i := range spans {
+		buf = obs.AppendSpanJSON(buf[:0], &spans[i])
+		buf = append(buf, '\n')
+		w.Write(buf)
+	}
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	jobs := len(s.jobs)
@@ -975,6 +1057,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"version":       s.cfg.Version,
 		"go":            runtime.Version(),
 		"uptime_s":      int64(time.Since(s.started).Seconds()),
+		"goroutines":    runtime.NumGoroutine(),
 		"jobs":          jobs,
 		"store_records": s.cfg.Store.Len(),
 	})
