@@ -9,7 +9,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -ldflags "-X whirlpool/internal/cliutil.buildVersion=$(VERSION)"
 
-.PHONY: build examples test race vet fmt fmt-check bench bench-json bench-delta smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke obs-smoke ci
+.PHONY: build examples test race vet lint fmt fmt-check bench bench-json bench-delta smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke obs-smoke ci
 
 build:
 	$(GO) build $(LDFLAGS) ./...
@@ -27,13 +27,23 @@ test:
 # experiments harness, per-goroutine Runners and concurrent mapped-trace
 # cursors in the simulator and trace codec, the result store's
 # concurrent writers, the daemon's job pool + SSE broadcast, the
-# distributed dispatcher's shard fan-out, and the fleet registry's
-# heartbeat/expiry races.
+# distributed dispatcher's shard fan-out, the fleet registry's
+# heartbeat/expiry races, the load generator's worker/collector fan-in,
+# and the tracer's concurrent span recording.
 race:
-	$(GO) test -race -count=1 -timeout 20m ./internal/experiments/... ./internal/sim/ ./internal/trace/ ./internal/results/ ./internal/server/ ./internal/dispatch/ ./internal/fleet/
+	$(GO) test -race -count=1 -timeout 20m ./internal/experiments/... ./internal/sim/ ./internal/trace/ ./internal/results/ ./internal/server/ ./internal/dispatch/ ./internal/fleet/ ./internal/traffic/ ./internal/obs/
 
 vet:
 	$(GO) vet ./...
+
+# The repo's own analyzers (cmd/whirlvet): determinism of the compute
+# path, //whirl:zeroalloc hot-path contracts, envelope-only API errors,
+# lowercase_snake log/span keys, and mutex discipline on the
+# schemes/workloads/fleet registries. New findings fail; grandfathered
+# ones live in lint.baseline.json (empty today — keep it that way).
+# See docs/lint.md.
+lint:
+	$(GO) run ./cmd/whirlvet ./...
 
 fmt:
 	gofmt -w .
@@ -92,6 +102,7 @@ smoke:
 	$(GO) run ./cmd/whirlbench -version | grep -q '^whirlbench '
 	$(GO) run ./cmd/whirltool -version | grep -q '^whirltool '
 	$(GO) run ./cmd/whirld -version | grep -q '^whirld '
+	$(GO) run $(LDFLAGS) ./cmd/whirlvet -version | grep -q '^whirlvet '
 	! $(GO) run ./cmd/whirld -store '' 2>/dev/null
 	! $(GO) run ./cmd/whirld -workers not-a-url 2>/dev/null
 	! $(GO) run ./cmd/whirld -workers 8 -parallel 4 2>/dev/null
@@ -165,4 +176,4 @@ load-smoke:
 obs-smoke:
 	GO="$(GO)" sh scripts/obs-smoke.sh
 
-ci: build examples vet fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke obs-smoke
+ci: build examples vet lint fmt-check test race bench smoke trace-smoke serve-smoke dist-smoke fleet-smoke load-smoke obs-smoke

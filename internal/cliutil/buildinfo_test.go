@@ -1,0 +1,29 @@
+package cliutil
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Version feeds `<prog> -version` for every binary and the make smoke
+// greps: "<stamped>[ (rev[+dirty])] go<toolchain>". Test builds are
+// unstamped, so the version is "dev"; the VCS suffix depends on
+// whether the toolchain embedded checkout info.
+func TestVersionShape(t *testing.T) {
+	re := regexp.MustCompile(`^dev( \([0-9a-f]+(\+dirty)?\))? go1\.[0-9]`)
+	if v := Version(); !re.MatchString(v) {
+		t.Fatalf("Version() = %q, want match for %v", v, re)
+	}
+}
+
+// The ldflags stamp (-X whirlpool/internal/cliutil.buildVersion=...)
+// replaces the "dev" prefix and nothing else.
+func TestVersionStamped(t *testing.T) {
+	old := buildVersion
+	buildVersion = "v9.9.9"
+	defer func() { buildVersion = old }()
+	if v := Version(); !strings.HasPrefix(v, "v9.9.9 ") {
+		t.Fatalf("stamped Version() = %q, want v9.9.9 prefix", v)
+	}
+}

@@ -781,6 +781,7 @@ func (p *Pool) submitCells(ctx context.Context, api *apiclient.Client, req *Cell
 		if retryAfter > 0 {
 			base = retryAfter
 		}
+		//whirl:wallclock retry-backoff jitter shapes timing only; no row data derives from it
 		delay := base/2 + rand.N(base)
 		select {
 		case <-ctx.Done():

@@ -163,7 +163,8 @@ func storeCommit(store *results.Store, key string, row SweepRow) {
 		Key:    key,
 		App:    row.App,
 		Scheme: row.Scheme,
-		Unix:   time.Now().Unix(),
-		Row:    data,
+		//whirl:wallclock store-record timestamp is provenance metadata, not row data
+		Unix: time.Now().Unix(),
+		Row:  data,
 	})
 }

@@ -366,6 +366,7 @@ func validateGrid(cfg *SweepConfig, jobs []sweepJob) error {
 		}
 	}
 	var unknown []string
+	//whirl:unordered unknown names are sorted before they reach the error message
 	for a := range needed {
 		if _, ok := workloads.ByName(a); !ok {
 			unknown = append(unknown, a)
@@ -496,6 +497,7 @@ func (h *Harness) prefetchTraces(ctx context.Context, jobs []sweepJob, served []
 		}
 	}
 	names := make([]string, 0, len(needed))
+	//whirl:unordered prefetch names are sorted before the workers see them
 	for a := range needed {
 		names = append(names, a)
 	}
@@ -701,12 +703,13 @@ func (h *Harness) runSweepJob(j sweepJob, noBypass bool, runner *sim.Runner) (ro
 				Err: fmt.Sprintf("panic: %v\n%s", r, debug.Stack())}
 		}
 	}()
-	start := time.Now()
+	start := time.Now() //whirl:wallclock cell wall time feeds the row's wall_ms column, which bit-identity checks strip
 	var r *sim.Result
 	if j.mix != nil {
 		r = h.runMixPinned(j.mix.Apps, j.mix.Pins, j.kind, mixChip(j.mix), noBypass, runner)
 	} else {
 		r = h.RunSingle(j.app, j.kind, RunOptions{NoBypass: noBypass, Runner: runner})
 	}
+	//whirl:wallclock wall_ms is timing metadata; every simulated column is deterministic
 	return rowFromResult(j.name(), j.mix != nil, j.kind, r, time.Since(start))
 }

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// A Baseline grandfathers known findings so the lint gate can land
+// before every legacy violation is fixed, without ever letting new
+// ones in. Entries match on (file, analyzer, message) — deliberately
+// not line/column, so unrelated edits shifting a grandfathered finding
+// do not break CI, while any new finding (even an identical message in
+// a different file) still fails. Matching is multiset-style: two
+// identical legacy findings need two entries, so fixing one and adding
+// one elsewhere in the same file cannot cancel out.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// BaselineEntry is one grandfathered finding.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes findings as a baseline file (sorted, one entry
+// per finding occurrence).
+func WriteBaseline(path string, findings []Finding) error {
+	b := Baseline{Findings: []BaselineEntry{}}
+	for _, f := range findings {
+		b.Findings = append(b.Findings, BaselineEntry{File: f.File, Analyzer: f.Analyzer, Message: f.Message})
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// split partitions findings into new (fail the run) and baselined
+// (grandfathered), consuming each baseline entry at most once.
+func (b *Baseline) split(findings []Finding) (fresh, baselined []Finding) {
+	type key struct{ file, analyzer, message string }
+	budget := map[key]int{}
+	for _, e := range b.Findings {
+		budget[key{e.File, e.Analyzer, e.Message}]++
+	}
+	for _, f := range findings {
+		k := key{f.File, f.Analyzer, f.Message}
+		if budget[k] > 0 {
+			budget[k]--
+			baselined = append(baselined, f)
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh, baselined
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline.json")
+	findings := []Finding{
+		{File: "b.go", Line: 2, Col: 1, Analyzer: "determinism", Message: "m2"},
+		{File: "a.go", Line: 9, Col: 4, Analyzer: "zeroalloc", Message: "m1"},
+		{File: "a.go", Line: 1, Col: 1, Analyzer: "zeroalloc", Message: "m1"},
+	}
+	if err := WriteBaseline(path, findings); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 3 {
+		t.Fatalf("round-tripped %d entries, want 3 (duplicates are distinct entries)", len(b.Findings))
+	}
+	if b.Findings[0].File != "a.go" || b.Findings[2].File != "b.go" {
+		t.Fatalf("baseline not sorted: %+v", b.Findings)
+	}
+}
+
+// Matching is multiset-style on (file, analyzer, message): each entry
+// absorbs one occurrence, and line numbers never participate (so
+// unrelated edits shifting a grandfathered finding keep CI green).
+func TestBaselineSplit(t *testing.T) {
+	b := &Baseline{Findings: []BaselineEntry{
+		{File: "a.go", Analyzer: "zeroalloc", Message: "m"},
+	}}
+	findings := []Finding{
+		{File: "a.go", Line: 10, Analyzer: "zeroalloc", Message: "m"},
+		{File: "a.go", Line: 20, Analyzer: "zeroalloc", Message: "m"},
+		{File: "b.go", Line: 10, Analyzer: "zeroalloc", Message: "m"},
+	}
+	fresh, baselined := b.split(findings)
+	if len(baselined) != 1 || baselined[0].Line != 10 {
+		t.Fatalf("baselined = %v, want just the first a.go occurrence", baselined)
+	}
+	if len(fresh) != 2 {
+		t.Fatalf("fresh = %v, want the second a.go occurrence and b.go", fresh)
+	}
+}
+
+func TestEmptyBaselineAbsorbsNothing(t *testing.T) {
+	b := &Baseline{}
+	findings := []Finding{{File: "a.go", Analyzer: "envelope", Message: "m"}}
+	fresh, baselined := b.split(findings)
+	if len(fresh) != 1 || len(baselined) != 0 {
+		t.Fatalf("empty baseline: fresh=%v baselined=%v", fresh, baselined)
+	}
+}

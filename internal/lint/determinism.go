@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repo's bit-identity contract: sweep rows,
+// trace bytes, content-address keys, and rendezvous routing must be
+// pure functions of (spec, scale, seed, reconfig, chip). Inside the
+// compute-path packages it flags the three classic leaks — wall-clock
+// reads, the global math/rand PRNGs, and map iteration order — all of
+// which have produced "works on my machine" rows in systems like this
+// one. Explicitly timing-only sites (span durations, store timestamps,
+// retry jitter) carry a //whirl:wallclock marker with a reason;
+// order-insensitive map walks (keys collected then sorted) carry
+// //whirl:unordered.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall clock, global PRNG, or map-order dependence in the compute path",
+	// The compute path: the simulator and everything that feeds it or
+	// routes its cells. Serving-side packages (server, fleet, traffic,
+	// obs, apiclient, results) are timing-bearing by design and stay
+	// out of scope.
+	Match: suffixMatcher(
+		"whirlpool", // the public API package assembles figures and experiments
+		"internal/sim", "internal/trace", "internal/dispatch", "internal/experiments",
+		"internal/addr", "internal/cache", "internal/llc", "internal/noc",
+		"internal/jigsaw", "internal/paws", "internal/mem", "internal/mrc",
+		"internal/partition", "internal/stats", "internal/graph", "internal/energy",
+		"internal/mon", "internal/schemes", "internal/workloads", "internal/spec",
+	),
+	Run: runDeterminism,
+}
+
+// wallclockFuncs are the time package reads that differ run to run.
+var wallclockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runDeterminism(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if isPkgFunc(fn, "time") && wallclockFuncs[fn.Name()] {
+					if !pass.Suppressed(n.Pos(), MarkWallclock) {
+						pass.Reportf(n.Pos(), "time.%s in the compute path; timing-only sites need //whirl:wallclock <reason>", fn.Name())
+					}
+				}
+			case *ast.Ident:
+				fn, _ := info.Uses[n].(*types.Func)
+				if globalRandFunc(fn) {
+					if !pass.Suppressed(n.Pos(), MarkWallclock) {
+						pass.Reportf(n.Pos(), "global %s.%s in the compute path; use a seeded local PRNG, or //whirl:wallclock <reason> for timing-only jitter", fn.Pkg().Name(), fn.Name())
+					}
+				}
+			case *ast.RangeStmt:
+				tv, ok := info.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					if !pass.Suppressed(n.Pos(), MarkUnordered) {
+						pass.Reportf(n.Pos(), "map iteration order can reach results; sort the keys first, or //whirl:unordered <reason> if order provably cannot escape")
+					}
+				}
+			}
+			return true
+		})
+	}
+	pass.reportBadMarkers([]string{MarkWallclock, MarkUnordered}, true)
+}
+
+// globalRandFunc reports whether fn is a package-level function of
+// math/rand or math/rand/v2 that draws from the shared global PRNG.
+// Constructors (New, NewSource, NewPCG, ...) build caller-seeded local
+// generators and are the deterministic alternative, so they pass.
+func globalRandFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return false
+	}
+	if !isPkgFunc(fn, path) {
+		return false
+	}
+	return !strings.HasPrefix(fn.Name(), "New")
+}

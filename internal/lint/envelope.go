@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// Envelope enforces the daemon's error contract: every non-2xx /v1
+// response carries the uniform JSON envelope {"error":{code,message}}
+// (docs/server.md "Errors"), which internal/apiclient and every
+// retry/backoff decision in dispatch parse. Inside internal/server it
+// flags the three ways an error can bypass the envelope writer:
+// http.Error (plain-text body), a bare WriteHeader with a 4xx/5xx
+// status, and a hand-rolled json.NewEncoder next to a direct error
+// status. The designated writer itself carries //whirl:envelope.
+var Envelope = &Analyzer{
+	Name:  "envelope",
+	Doc:   "non-2xx responses in internal/server must go through the //whirl:envelope writer",
+	Match: suffixMatcher("internal/server"),
+	Run:   runEnvelope,
+}
+
+func runEnvelope(pass *Pass) {
+	rw := responseWriterIface(pass.Pkg.Types)
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if m := pass.FuncMarker(fn, MarkEnvelope); m != nil && m.Reason != "" {
+				continue // the designated envelope writer
+			}
+			checkEnvelope(pass, fn, rw)
+		}
+	}
+	pass.reportBadMarkers([]string{MarkEnvelope}, false)
+}
+
+func checkEnvelope(pass *Pass, fn *ast.FuncDecl, rw *types.Interface) {
+	info := pass.Pkg.Info
+
+	// Pass 1: does this function write an error status directly?
+	directError := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isHTTPError(info, call) || isErrorWriteHeader(info, call, rw) {
+			directError = true
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isHTTPError(info, call):
+			pass.Reportf(call.Pos(), "http.Error bypasses the JSON error envelope; use the //whirl:envelope writer")
+		case isErrorWriteHeader(info, call, rw):
+			pass.Reportf(call.Pos(), "bare WriteHeader with an error status bypasses the JSON error envelope; use the //whirl:envelope writer")
+		case directError && isEncoderOnResponseWriter(info, call, rw):
+			pass.Reportf(call.Pos(), "hand-rolled json.NewEncoder on an error path; route the error through the //whirl:envelope writer")
+		}
+		return true
+	})
+}
+
+func isHTTPError(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	return isPkgFunc(fn, "net/http") && fn.Name() == "Error"
+}
+
+// isErrorWriteHeader matches w.WriteHeader(c) where w serves HTTP and
+// c is a constant in [400, 599]. Dynamic status codes (writeJSON-style
+// helpers taking the code as a parameter) are out of reach here and
+// stay covered by the envelope tests.
+func isErrorWriteHeader(info *types.Info, call *ast.CallExpr, rw *types.Interface) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Name() != "WriteHeader" || len(call.Args) != 1 {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !isResponseWriter(sig.Recv().Type(), rw) {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return false
+	}
+	code, ok := constant.Int64Val(tv.Value)
+	return ok && code >= 400 && code <= 599
+}
+
+func isEncoderOnResponseWriter(info *types.Info, call *ast.CallExpr, rw *types.Interface) bool {
+	fn := calleeFunc(info, call)
+	if !isPkgFunc(fn, "encoding/json") || fn.Name() != "NewEncoder" || len(call.Args) != 1 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[0]]
+	return ok && isResponseWriter(tv.Type, rw)
+}
+
+// isResponseWriter reports whether t is (or implements) the net/http
+// ResponseWriter interface. With no net/http in the import graph there
+// is nothing to serve, so everything fails the test.
+func isResponseWriter(t types.Type, rw *types.Interface) bool {
+	if rw == nil || t == nil {
+		return false
+	}
+	if iface, ok := t.Underlying().(*types.Interface); ok && types.Identical(iface, rw) {
+		return true
+	}
+	return types.Implements(t, rw)
+}
+
+// responseWriterIface digs net/http.ResponseWriter out of the
+// package's import graph.
+func responseWriterIface(pkg *types.Package) *types.Interface {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() != "net/http" {
+			continue
+		}
+		obj := imp.Scope().Lookup("ResponseWriter")
+		if obj == nil {
+			return nil
+		}
+		iface, _ := obj.Type().Underlying().(*types.Interface)
+		return iface
+	}
+	return nil
+}

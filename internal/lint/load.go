@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked module package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Name  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	markers *markerIndex
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	Export     string
+	GoFiles    []string
+}
+
+// golist runs `go list` in dir and decodes its JSON package stream.
+// The go command is the module-graph oracle here, not a dependency:
+// analysis itself is pure go/{parser,types,importer}, and go.mod stays
+// require-free.
+func golist(dir string, args ...string) ([]listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	// The loader must see exactly the module rooted at dir, even when
+	// invoked from inside a fixture module during tests.
+	cmd.Env = append(os.Environ(), "GOWORK=off")
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(errb.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(args, " "), msg)
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load parses and type-checks the packages matching patterns in the
+// module rooted at (or containing) dir. Imports — stdlib and module-
+// internal alike — are resolved from compiler export data produced by
+// `go list -export`, so loading is fast and needs nothing beyond the
+// Go toolchain already required to build the module. A module that
+// does not compile fails loading with the compiler's own errors.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	// Pass 1: export data for every dependency of the targets. Running
+	// without -e keeps broken builds loud (go list prints the compile
+	// errors and exits non-zero).
+	exportArgs := append([]string{"-deps", "-export", "-json=ImportPath,Export"}, patterns...)
+	deps, err := golist(dir, exportArgs...)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+
+	// Pass 2: the target packages themselves, with their file lists.
+	targetArgs := append([]string{"-json=ImportPath,Dir,Name,GoFiles"}, patterns...)
+	targets, err := golist(dir, targetArgs...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		var files []*ast.File
+		for _, g := range t.GoFiles {
+			name := filepath.Join(t.Dir, g)
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			// go list -export already proved the package compiles, so a
+			// type error here means the loader itself is wrong — fail
+			// loudly rather than analyzing half-typed syntax.
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			Path:    t.ImportPath,
+			Name:    t.Name,
+			Dir:     t.Dir,
+			Fset:    fset,
+			Files:   files,
+			Types:   tpkg,
+			Info:    info,
+			markers: newMarkerIndex(fset, files),
+		})
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Registrylock guards the process-global registries — schemes,
+// workloads, and the fleet membership — whose maps are read on every
+// sweep cell and written by spec loading, runtime registration, and
+// worker heartbeats. A guarded container is a map or slice declared in
+// the same var block as a sync.Mutex/RWMutex (package registries) or
+// in the same struct as a mutex field (fleet.Registry). Every
+// function-like body that touches one must lock the paired mutex
+// itself, inherit the lock from a lexically enclosing function, follow
+// the repo's "...Locked" suffix convention (callers hold the lock), or
+// carry //whirl:locked <reason>. This is lock *discipline* analysis,
+// not a race detector — make race remains the dynamic backstop.
+var Registrylock = &Analyzer{
+	Name:  "registrylock",
+	Doc:   "schemes/workloads/fleet registry state only under its guarding mutex",
+	Match: suffixMatcher("internal/schemes", "internal/workloads", "internal/fleet"),
+	Run:   runRegistrylock,
+}
+
+// guardedGroup is one mutex and the containers it guards.
+type guardedGroup struct {
+	mutex   types.Object            // the mutex var or field
+	guarded map[types.Object]string // container object -> name
+}
+
+func runRegistrylock(pass *Pass) {
+	groups := findGuardedGroups(pass)
+	if len(groups) == 0 {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, fs := range collectFuncScopes(f) {
+			checkLockDiscipline(pass, fs, groups)
+		}
+	}
+	pass.reportBadMarkers([]string{MarkLocked}, false)
+}
+
+// findGuardedGroups pairs mutexes with the containers they guard, in
+// package var blocks and in struct types.
+func findGuardedGroups(pass *Pass) []*guardedGroup {
+	var groups []*guardedGroup
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			switch gd.Tok {
+			case token.VAR:
+				if g := groupFromVarBlock(info, gd); g != nil {
+					groups = append(groups, g)
+				}
+			case token.TYPE:
+				for _, spec := range gd.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					if g := groupFromStruct(info, st); g != nil {
+						groups = append(groups, g)
+					}
+				}
+			}
+		}
+	}
+	return groups
+}
+
+func groupFromVarBlock(info *types.Info, gd *ast.GenDecl) *guardedGroup {
+	g := &guardedGroup{guarded: map[types.Object]string{}}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, name := range vs.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			switch {
+			case isMutex(obj.Type()):
+				if g.mutex == nil {
+					g.mutex = obj
+				}
+			case isContainer(obj.Type()):
+				g.guarded[obj] = name.Name
+			}
+		}
+	}
+	if g.mutex == nil || len(g.guarded) == 0 {
+		return nil
+	}
+	return g
+}
+
+func groupFromStruct(info *types.Info, st *ast.StructType) *guardedGroup {
+	g := &guardedGroup{guarded: map[types.Object]string{}}
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			switch {
+			case isMutex(obj.Type()):
+				if g.mutex == nil {
+					g.mutex = obj
+				}
+			case isContainer(obj.Type()):
+				g.guarded[obj] = name.Name
+			}
+		}
+	}
+	if g.mutex == nil || len(g.guarded) == 0 {
+		return nil
+	}
+	return g
+}
+
+func isMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}
+
+func isContainer(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// checkLockDiscipline reports guarded accesses in one function-like
+// body that cannot be shown to hold the right mutex.
+func checkLockDiscipline(pass *Pass, fs *funcScope, groups []*guardedGroup) {
+	info := pass.Pkg.Info
+	for _, g := range groups {
+		uses := guardedUses(info, fs, g)
+		if len(uses) == 0 {
+			continue
+		}
+		if locksMutex(info, fs.body, g.mutex) {
+			continue
+		}
+		if enclosingHoldsLock(info, fs, g.mutex) {
+			continue
+		}
+		if fs.decl != nil {
+			if name := fs.decl.Name.Name; len(name) > 6 && name[len(name)-6:] == "Locked" {
+				continue // callers hold the lock by convention
+			}
+			if m := pass.FuncMarker(fs.decl, MarkLocked); m != nil && m.Reason != "" {
+				continue
+			}
+		}
+		for _, use := range uses {
+			pass.Reportf(use.pos, "%s accessed without holding %s; lock it, suffix the function ...Locked, or //whirl:locked <reason>", use.name, g.mutex.Name())
+		}
+	}
+}
+
+type guardedUse struct {
+	name string
+	pos  token.Pos
+}
+
+// guardedUses finds uses of g's containers directly inside fs's body
+// (nested function literals analyze as their own scopes). Composite-
+// literal field keys do not count: Registry{byURL: ...} initializes a
+// value nothing else can see yet.
+func guardedUses(info *types.Info, fs *funcScope, g *guardedGroup) []guardedUse {
+	var uses []guardedUse
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.KeyValueExpr:
+			if _, bareIdent := n.Key.(*ast.Ident); bareIdent {
+				ast.Inspect(n.Value, walk)
+				return false
+			}
+		case *ast.Ident:
+			if obj := info.Uses[n]; obj != nil {
+				if name, ok := g.guarded[obj]; ok {
+					uses = append(uses, guardedUse{name: name, pos: n.Pos()})
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fs.body, walk)
+	return uses
+}
+
+// locksMutex reports whether body contains a Lock/RLock call on the
+// given mutex object (package var: regMu.Lock(); struct field:
+// r.mu.Lock() on any receiver value).
+func locksMutex(info *types.Info, body *ast.BlockStmt, mutex types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != body {
+			return false // a closure's deferred lock is its own business
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		if refersToMutex(info, sel.X, mutex) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// refersToMutex reports whether expr denotes the mutex object: the
+// package var itself, or a selection of the mutex field.
+func refersToMutex(info *types.Info, expr ast.Expr, mutex types.Object) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e] == mutex
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel] == mutex
+	}
+	return false
+}
+
+func enclosingHoldsLock(info *types.Info, fs *funcScope, mutex types.Object) bool {
+	for _, enc := range fs.enclosing {
+		if locksMutex(info, enc.body, mutex) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,222 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Finding is one resolved diagnostic. File is module-root-relative
+// and slash-separated, so findings (and the baseline) are stable
+// across checkouts and operating systems.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the go-vet-style diagnostic line.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Config selects what Run analyzes.
+type Config struct {
+	// Dir is the directory to resolve patterns in (the module root or
+	// any directory inside it). Defaults to ".".
+	Dir string
+	// Patterns are go-list package patterns; default ["./..."].
+	Patterns []string
+	// Analyzers selects a subset of All by name; nil/empty = all.
+	Analyzers []string
+	// Disable removes analyzers by name after selection.
+	Disable []string
+	// Baseline holds grandfathered findings: matching findings are
+	// reported separately and do not fail the run. New findings always
+	// fail.
+	Baseline *Baseline
+}
+
+// Result is one whirlvet run's outcome.
+type Result struct {
+	// Findings are the new (non-baselined) findings, sorted by
+	// position. Non-empty means the run failed.
+	Findings []Finding
+	// Baselined are findings matched (and absorbed) by the baseline.
+	Baselined []Finding
+	// Packages is the number of packages analyzed.
+	Packages int
+}
+
+// Analyzers resolves cfg's analyzer selection against All, erroring on
+// unknown names (a typo silently running zero analyzers is how lint
+// gates rot).
+func (cfg *Config) analyzers() ([]*Analyzer, error) {
+	selected := All()
+	if len(cfg.Analyzers) > 0 {
+		selected = selected[:0:0]
+		for _, name := range cfg.Analyzers {
+			a, ok := ByName(name)
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (whirlvet -list shows valid names)", name)
+			}
+			selected = append(selected, a)
+		}
+	}
+	for _, name := range cfg.Disable {
+		if _, ok := ByName(name); !ok {
+			return nil, fmt.Errorf("unknown analyzer %q in -disable (whirlvet -list shows valid names)", name)
+		}
+	}
+	out := selected[:0:0]
+	for _, a := range selected {
+		disabled := false
+		for _, name := range cfg.Disable {
+			if a.Name == name {
+				disabled = true
+				break
+			}
+		}
+		if !disabled {
+			out = append(out, a)
+		}
+	}
+	return out, nil
+}
+
+// Run loads the requested packages and applies the selected analyzers.
+func Run(cfg Config) (*Result, error) {
+	dir := cfg.Dir
+	if dir == "" {
+		dir = "."
+	}
+	analyzers, err := cfg.analyzers()
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := Load(dir, cfg.Patterns...)
+	if err != nil {
+		return nil, err
+	}
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, unknownMarkers(pkg, root)...)
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			findings = append(findings, RunAnalyzer(a, pkg, root)...)
+		}
+	}
+	sortFindings(findings)
+
+	res := &Result{Packages: len(pkgs)}
+	if cfg.Baseline != nil {
+		res.Findings, res.Baselined = cfg.Baseline.split(findings)
+	} else {
+		res.Findings = findings
+	}
+	return res, nil
+}
+
+// RunAnalyzer applies one analyzer to one loaded package, bypassing
+// Match — the fixture tests use this to run an analyzer against a
+// testdata module directly. root anchors relative finding paths; use
+// pkg.Dir for fixture-local paths.
+func RunAnalyzer(a *Analyzer, pkg *Package, root string) []Finding {
+	var out []Finding
+	pass := &Pass{
+		Analyzer: a,
+		Pkg:      pkg,
+		report: func(d Diagnostic) {
+			out = append(out, resolve(pkg.Fset, d, root))
+		},
+	}
+	a.Run(pass)
+	sortFindings(out)
+	return out
+}
+
+// unknownMarkers flags //whirl: markers whose kind no analyzer owns.
+// A typo like //whirl:wallclok would otherwise read as an allowlist
+// entry while suppressing nothing.
+func unknownMarkers(pkg *Package, root string) []Finding {
+	var out []Finding
+	for _, m := range pkg.markers.all {
+		if knownMarks[m.Kind] {
+			continue
+		}
+		out = append(out, resolve(pkg.Fset, Diagnostic{
+			Pos:      m.Pos,
+			Analyzer: "markers",
+			Message:  fmt.Sprintf("unknown marker //whirl:%s (known kinds: envelope, locked, unordered, wallclock, zeroalloc)", m.Kind),
+		}, root))
+	}
+	return out
+}
+
+func resolve(fset *token.FileSet, d Diagnostic, root string) Finding {
+	p := fset.Position(d.Pos)
+	file := p.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return Finding{
+		File:     filepath.ToSlash(file),
+		Line:     p.Line,
+		Col:      p.Column,
+		Analyzer: d.Analyzer,
+		Message:  d.Message,
+	}
+}
+
+// moduleRoot locates the enclosing module's root directory.
+func moduleRoot(dir string) (string, error) {
+	pkgs, err := golist(dir, "-m", "-json=Dir")
+	if err != nil {
+		return "", err
+	}
+	if len(pkgs) == 0 || pkgs[0].Dir == "" {
+		return "", fmt.Errorf("no module found at %s", dir)
+	}
+	return pkgs[0].Dir, nil
+}
+
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText prints findings in the file:line:col form compilers and
+// editors understand.
+func WriteText(w io.Writer, findings []Finding) {
+	for _, f := range findings {
+		fmt.Fprintln(w, f.String())
+	}
+}

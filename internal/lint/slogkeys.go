@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// Slogkeys keeps the structured-log and span-attribute namespace
+// grep-able: `whirld: msg key=val` lines, /metrics names derived from
+// attrs, and `whirltool spans` aggregates all assume keys are literal
+// lowercase_snake strings. The analyzer checks every slog call
+// (package functions and Logger methods) and every obs attribute
+// constructor (obs.Str/Int/Bool, Span.SetStr/SetInt/SetBool): keys
+// must be compile-time string constants matching ^[a-z][a-z0-9_]*$,
+// and one call site (one statement, for chained Set*) must not set the
+// same key twice — a duplicate silently shadows in log output and
+// double-emits in span JSON.
+var Slogkeys = &Analyzer{
+	Name: "slogkeys",
+	Doc:  "structured-log and span-attr keys must be literal lowercase_snake and unique per call site",
+	Run:  runSlogkeys,
+}
+
+var keyRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// slogKVStart maps slog call names to the index of the first key-value
+// argument. Applies to both the package-level functions and the
+// *slog.Logger methods (same names, same shapes).
+var slogKVStart = map[string]int{
+	"Debug": 1, "Info": 1, "Warn": 1, "Error": 1,
+	"DebugContext": 2, "InfoContext": 2, "WarnContext": 2, "ErrorContext": 2,
+	"Log": 3, "With": 0,
+}
+
+func runSlogkeys(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		// Statement granularity so chained sp.SetStr("k",…).SetInt("k",…)
+		// counts as one call site for the duplicate check.
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(ast.Stmt)
+			if !ok {
+				return true
+			}
+			checkStmtKeys(pass, info, stmt)
+			return true
+		})
+	}
+}
+
+func checkStmtKeys(pass *Pass, info *types.Info, stmt ast.Stmt) {
+	seen := map[string]bool{} // span-attr keys set within this statement
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, nested := n.(ast.Stmt); nested && n != stmt {
+			return false // inner statements get their own visit
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if start, ok := slogCall(fn); ok {
+			checkSlogKVs(pass, info, call, start)
+			return true
+		}
+		if arg, ok := obsAttrKeyArg(fn, call); ok && fn.Pkg() != pass.Pkg.Types {
+			if key, ok := checkKeyArg(pass, info, arg, "span attr"); ok {
+				if seen[key] {
+					pass.Reportf(arg.Pos(), "span attr key %q set twice at this call site", key)
+				}
+				seen[key] = true
+			}
+		}
+		return true
+	})
+}
+
+// slogCall reports whether fn is a key-value-taking slog entry point,
+// and at which argument the key-value pairs start.
+func slogCall(fn *types.Func) (int, bool) {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "log/slog" {
+		return 0, false
+	}
+	start, ok := slogKVStart[fn.Name()]
+	return start, ok
+}
+
+// obsAttrKeyArg returns the key argument of an obs attribute
+// constructor: Str/Int/Bool in a package named obs, or SetStr/SetInt/
+// SetBool methods on a Span. The defining package itself is exempt at
+// the call site above — its wrappers forward caller keys through
+// non-literal parameters by design.
+func obsAttrKeyArg(fn *types.Func, call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) == 0 {
+		return nil, false
+	}
+	switch fn.Name() {
+	case "Str", "Int", "Bool":
+		if fn.Pkg() != nil && pkgPathBase(fn.Pkg().Path()) == "obs" && isPkgFunc(fn, fn.Pkg().Path()) {
+			return call.Args[0], true
+		}
+	case "SetStr", "SetInt", "SetBool":
+		if named := recvNamed(fn); named != nil && named.Obj().Name() == "Span" {
+			return call.Args[0], true
+		}
+	}
+	return nil, false
+}
+
+// checkSlogKVs validates the alternating key-value tail of a slog
+// call. Typed slog.Attr arguments take one slot; anything else at a
+// key position must be a constant string key.
+func checkSlogKVs(pass *Pass, info *types.Info, call *ast.CallExpr, start int) {
+	seen := map[string]bool{}
+	args := call.Args
+	for i := start; i < len(args); {
+		if isSlogAttr(info, args[i]) {
+			i++
+			continue
+		}
+		key, ok := checkKeyArg(pass, info, args[i], "log")
+		if !ok {
+			return // pairing is no longer knowable; stop at the first bad key
+		}
+		if seen[key] {
+			pass.Reportf(args[i].Pos(), "log key %q passed twice at this call site", key)
+		}
+		seen[key] = true
+		i += 2
+	}
+}
+
+func isSlogAttr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	return named.Obj().Name() == "Attr" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "log/slog"
+}
+
+// checkKeyArg validates one key argument: constant string (so grep can
+// find it) matching lowercase_snake (so metrics and span tooling can
+// parse it). Returns the key when it is usable for duplicate checks.
+func checkKeyArg(pass *Pass, info *types.Info, arg ast.Expr, what string) (string, bool) {
+	tv, ok := info.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Reportf(arg.Pos(), "%s key must be a literal string, not a computed value", what)
+		return "", false
+	}
+	key := constant.StringVal(tv.Value)
+	if !keyRe.MatchString(key) {
+		pass.Reportf(arg.Pos(), "%s key %q is not lowercase_snake ([a-z][a-z0-9_]*)", what, key)
+		return "", false
+	}
+	return key, true
+}

@@ -1,0 +1,91 @@
+// Package det seeds one violation of every determinism finding class —
+// wall-clock reads, global PRNG draws, map iteration — plus the marker
+// hygiene cases. The // want comments are matched by the fixture
+// harness in internal/lint; // want+N anchors an expectation N lines
+// below its comment (markers cannot share a line with a second
+// comment).
+package det
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+// Bare wall-clock reads differ run to run.
+func clock() time.Duration {
+	t0 := time.Now()      // want "time.Now in the compute path"
+	return time.Since(t0) // want "time.Since in the compute path"
+}
+
+// Timing-only sites carry a reasoned marker and pass.
+func clockAllowed() int64 {
+	//whirl:wallclock span duration is timing metadata, not row data
+	t0 := time.Now()
+	return t0.Unix()
+}
+
+// A reason-less marker suppresses nothing; both the site and the
+// marker itself are flagged.
+func clockBadMarker() time.Time {
+	// want+1 "marker requires a reason"
+	//whirl:wallclock
+	return time.Now() // want "time.Now in the compute path"
+}
+
+// A reasoned marker that matches no finding is stale.
+// want+2 "suppresses nothing"
+//
+//whirl:wallclock measured wall time
+func notTimed() int { return 1 }
+
+// Global PRNG draws share mutable state across the process.
+func prng() int {
+	return rand.Intn(10) // want "global rand.Intn in the compute path"
+}
+
+func prngV2() uint64 {
+	return randv2.Uint64() // want "global rand.Uint64 in the compute path"
+}
+
+// Caller-seeded local generators are the deterministic alternative.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// Map iteration order can reach results.
+func mapRange(m map[string]int) int {
+	s := 0
+	for k := range m { // want "map iteration order can reach results"
+		s += m[k]
+	}
+	return s
+}
+
+// Order-insensitive walks carry a reasoned //whirl:unordered.
+func mapRangeAllowed(m map[string]int) int {
+	s := 0
+	//whirl:unordered sum is commutative over every entry
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Ranging a slice is ordered; the marker suppresses nothing.
+func sliceRange(xs []int) int {
+	s := 0
+	// want+1 "suppresses nothing"
+	//whirl:unordered slices iterate in order anyway
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// A typoed kind is invisible to every analyzer; the runner's marker
+// check flags it (see TestUnknownMarkers).
+//
+//whirl:wallclok oops
+func typoMarker() {}

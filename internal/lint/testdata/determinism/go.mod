@@ -1,0 +1,3 @@
+module fixture/internal/sim
+
+go 1.24

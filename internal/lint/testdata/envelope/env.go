@@ -1,0 +1,52 @@
+// Package env seeds the envelope analyzer's finding classes against
+// the real net/http surface: plain-text http.Error, bare error
+// WriteHeader, and hand-rolled JSON encoding on an error path.
+package env
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+func plainText(w http.ResponseWriter) {
+	http.Error(w, "bad", http.StatusBadRequest) // want "http.Error bypasses the JSON error envelope"
+}
+
+func bareStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want "bare WriteHeader with an error status"
+}
+
+// Success statuses are not the envelope's business.
+func okStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func handRolled(w http.ResponseWriter, err error) {
+	w.WriteHeader(422)                 // want "bare WriteHeader with an error status"
+	_ = json.NewEncoder(w).Encode(err) // want "hand-rolled json.NewEncoder on an error path"
+}
+
+// The success path may stream JSON directly: no direct error status in
+// this function, so the encoder is fine.
+func writeJSON(w http.ResponseWriter, v any) {
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// The designated envelope writer is exempt — it is the one place
+// allowed to write error statuses.
+//
+//whirl:envelope the one sanctioned error writer in this fixture
+func httpErr(w http.ResponseWriter, msg string) {
+	w.WriteHeader(http.StatusBadRequest)
+	_, _ = w.Write([]byte(msg))
+}
+
+// A reason-less marker does not exempt; both the marker and the write
+// are flagged.
+//
+// want+2 "marker requires a reason"
+//
+//whirl:envelope
+func unreasoned(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusBadGateway) // want "bare WriteHeader with an error status"
+}

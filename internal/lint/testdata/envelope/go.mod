@@ -1,0 +1,3 @@
+module fixture/internal/server
+
+go 1.24

@@ -1,0 +1,3 @@
+module fixture/internal/schemes
+
+go 1.24

@@ -1,0 +1,93 @@
+// Package rl seeds the registrylock finding classes: a package-level
+// registry (mutex + containers in one var block) and a struct registry
+// (mutex field + map field), each touched with and without the lock.
+package rl
+
+import "sync"
+
+var (
+	regMu sync.RWMutex
+	reg   = map[string]int{}
+	order []string
+)
+
+func get(name string) int {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return reg[name]
+}
+
+func put(name string, v int) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	reg[name] = v
+	order = append(order, name)
+}
+
+func bare(name string) int {
+	return reg[name] // want "reg accessed without holding regMu"
+}
+
+func bareSlice() int {
+	return len(order) // want "order accessed without holding regMu"
+}
+
+// namesLocked follows the ...Locked suffix convention: callers hold
+// regMu.
+func namesLocked() []string {
+	return order
+}
+
+// The marker spells the convention out when the name cannot.
+//
+//whirl:locked every caller takes regMu first
+func dump() map[string]int {
+	return reg
+}
+
+// A reason-less marker does not exempt.
+//
+// want+2 "marker requires a reason"
+//
+//whirl:locked
+func unreasoned() int {
+	return len(reg) // want "reg accessed without holding regMu"
+}
+
+// A closure inherits the lock from its lexically enclosing function.
+func inherited() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return func() []string { return order }()
+}
+
+// A closure that escapes without the lock is on its own.
+func escape() func() int {
+	return func() int {
+		return reg["x"] // want "reg accessed without holding regMu"
+	}
+}
+
+// A Table pairs a mutex field with the map it guards.
+type Table struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+// Get holds the lock.
+func (t *Table) Get(k string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[k]
+}
+
+// Bad reads the guarded map lock-free.
+func (t *Table) Bad(k string) int {
+	return t.m[k] // want "m accessed without holding mu"
+}
+
+// NewTable initializes the container before anything can race on it;
+// composite-literal field keys are not accesses.
+func NewTable() *Table {
+	return &Table{m: map[string]int{}}
+}

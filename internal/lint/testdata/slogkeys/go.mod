@@ -1,0 +1,3 @@
+module fixture/slogkeys
+
+go 1.24

@@ -1,0 +1,44 @@
+// Package obs mimics whirlpool/internal/obs just enough for the
+// slogkeys analyzer: attribute constructors named Str/Int/Bool in a
+// package named obs, and a Span with chained Set* methods. Its own
+// wrappers forward caller keys through parameters — the defining-
+// package exemption keeps that from being flagged here.
+package obs
+
+// An Attr is one span attribute.
+type Attr struct {
+	K string
+	V any
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{K: k, V: v} }
+
+// Int builds an int attribute.
+func Int(k string, v int) Attr { return Attr{K: k, V: v} }
+
+// Bool builds a bool attribute.
+func Bool(k string, v bool) Attr { return Attr{K: k, V: v} }
+
+// A Span accumulates attributes.
+type Span struct {
+	attrs []Attr
+}
+
+// SetStr records a string attribute.
+func (s *Span) SetStr(k, v string) *Span {
+	s.attrs = append(s.attrs, Str(k, v))
+	return s
+}
+
+// SetInt records an int attribute.
+func (s *Span) SetInt(k string, v int) *Span {
+	s.attrs = append(s.attrs, Int(k, v))
+	return s
+}
+
+// SetBool records a bool attribute.
+func (s *Span) SetBool(k string, v bool) *Span {
+	s.attrs = append(s.attrs, Bool(k, v))
+	return s
+}

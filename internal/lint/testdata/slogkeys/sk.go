@@ -1,0 +1,34 @@
+// Package sk seeds the slogkeys finding classes — non-literal keys,
+// non-snake keys, and per-call-site duplicates — for slog package
+// functions, Logger methods, and obs span-attribute constructors.
+package sk
+
+import (
+	"context"
+	"log/slog"
+
+	"fixture/slogkeys/obs"
+)
+
+func logs(l *slog.Logger, user string) {
+	l.Info("ok", "user_id", user)
+	l.Info("bad case", "UserID", user)                           // want "not lowercase_snake"
+	l.Info("bad dash", "user-id", user)                          // want "not lowercase_snake"
+	l.Info("computed", user, 1)                                  // want "must be a literal string"
+	l.Info("dup", "k", 1, "k", 2)                                // want "passed twice at this call site"
+	l.InfoContext(context.Background(), "ctx", "K", 1)           // want "not lowercase_snake"
+	slog.Warn("pkg level", "Bad", true)                          // want "not lowercase_snake"
+	l.Log(context.Background(), slog.LevelInfo, "lvl", "OK2", 1) // want "not lowercase_snake"
+	l.With("req_id", 1).Info("msg")
+	l.Info("attr args take one slot", slog.Int("count", 1), "next_key", 2)
+}
+
+func spans(sp *obs.Span, key string) {
+	sp.SetStr("app", "x").SetInt("cycles", 1)
+	sp.SetStr("app", "x").SetInt("app", 2) // want "set twice at this call site"
+	sp.SetStr(key, "x")                    // want "must be a literal string"
+	sp.SetBool("Hit", true)                // want "not lowercase_snake"
+	_ = obs.Str("BadKey", "v")             // want "not lowercase_snake"
+	_ = obs.Int("ok_key", 1)
+	_ = obs.Bool("flag", true)
+}

@@ -1,0 +1,3 @@
+module fixture/zeroalloc
+
+go 1.24

@@ -1,0 +1,76 @@
+// Package za seeds every zeroalloc finding class. Only functions
+// marked //whirl:zeroalloc are checked; unmarked functions may
+// allocate freely.
+package za
+
+import "fmt"
+
+//whirl:zeroalloc
+func viaSprintf(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt.Sprintf allocates"
+}
+
+//whirl:zeroalloc
+func toString(b []byte) string {
+	return string(b) // want "byte-to-string conversion allocates"
+}
+
+//whirl:zeroalloc
+func toBytes(s string) []byte {
+	return []byte(s) // want "string-to-..byte conversion allocates"
+}
+
+//whirl:zeroalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// Constant concatenation folds at compile time and is free.
+//
+//whirl:zeroalloc
+func constConcat() string {
+	return "a" + "b"
+}
+
+//whirl:zeroalloc
+func closure(n int) func() int {
+	return func() int { return n } // want "closure captures n"
+}
+
+// A closure that captures nothing does not escape its frame.
+//
+//whirl:zeroalloc
+func cleanClosure() func() int {
+	return func() int { return 1 }
+}
+
+//whirl:zeroalloc
+func grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append to unpreallocated slice out"
+	}
+	return out
+}
+
+//whirl:zeroalloc
+func growMakeZero() []int {
+	out := make([]int, 0)
+	return append(out, 1) // want "append to unpreallocated slice out"
+}
+
+// Preallocated append stays within the backing array.
+//
+//whirl:zeroalloc
+func growPrealloc(xs []int) []int {
+	out := make([]int, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+// Unmarked: the analyzer has no contract to enforce here.
+func unmarked(x int) string {
+	return fmt.Sprintf("%d", x)
+}

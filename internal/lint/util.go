@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (package function or method), or nil for builtins, conversions, and
+// calls through function-typed variables.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is a package-level function of the
+// package with the given import path.
+func isPkgFunc(fn *types.Func, pkgPath string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// recvNamed returns the defined type of fn's receiver (through one
+// pointer), or nil for package-level functions.
+func recvNamed(fn *types.Func) *types.Named {
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// pkgPathBase returns the last element of an import path.
+func pkgPathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// suffixMatcher builds an Analyzer.Match accepting exactly the given
+// import paths, compared module-root-relative: "internal/server"
+// matches "whirlpool/internal/server" and any other module's
+// ".../internal/server" (which is what lets fixtures exercise Match in
+// tests).
+func suffixMatcher(rels ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, rel := range rels {
+			if pkgPath == rel || strings.HasSuffix(pkgPath, "/"+rel) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// funcScopes pairs each function-like body (declaration or literal)
+// with its lexically enclosing function-likes, innermost last.
+type funcScope struct {
+	decl      *ast.FuncDecl // nil for literals
+	body      *ast.BlockStmt
+	enclosing []*funcScope
+}
+
+// collectFuncScopes walks a file and returns every FuncDecl and
+// FuncLit body with its enclosing chain.
+func collectFuncScopes(f *ast.File) []*funcScope {
+	var out []*funcScope
+	var stack []*funcScope
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return false
+			}
+			fs := &funcScope{decl: n, body: n.Body, enclosing: append([]*funcScope(nil), stack...)}
+			out = append(out, fs)
+			stack = append(stack, fs)
+			ast.Inspect(n.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.FuncLit:
+			fs := &funcScope{body: n.Body, enclosing: append([]*funcScope(nil), stack...)}
+			out = append(out, fs)
+			stack = append(stack, fs)
+			ast.Inspect(n.Body, walk)
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		return true
+	}
+	for _, d := range f.Decls {
+		ast.Inspect(d, walk)
+	}
+	return out
+}

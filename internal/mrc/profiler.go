@@ -77,6 +77,7 @@ func (p *Profiler) compact() {
 		t    int32
 	}
 	ents := make([]ent, 0, len(p.last))
+	//whirl:unordered entries are sorted by last-access time, unique per line, before renumbering
 	for l, t := range p.last {
 		ents = append(ents, ent{l, t})
 	}

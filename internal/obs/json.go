@@ -24,8 +24,11 @@ import (
 
 // AppendSpanJSON appends the one-line JSON encoding of s (no trailing
 // newline) to dst and returns it.
+//
+//whirl:zeroalloc
 func AppendSpanJSON(dst []byte, s *Span) []byte { return appendSpanJSON(dst, s) }
 
+//whirl:zeroalloc
 func appendSpanJSON(dst []byte, s *Span) []byte {
 	dst = append(dst, `{"trace":"`...)
 	dst = appendHex(dst, s.Trace[:])
@@ -72,6 +75,8 @@ func appendSpanJSON(dst []byte, s *Span) []byte {
 
 // appendJSONString writes a quoted JSON string. Span names and attr
 // keys are plain ASCII in practice; the escape path handles the rest.
+//
+//whirl:zeroalloc
 func appendJSONString(dst []byte, s string) []byte {
 	dst = append(dst, '"')
 	for i := 0; i < len(s); i++ {

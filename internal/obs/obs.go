@@ -30,6 +30,7 @@ type SpanID [8]byte
 
 const hexDigits = "0123456789abcdef"
 
+//whirl:zeroalloc
 func appendHex(dst []byte, src []byte) []byte {
 	for _, b := range src {
 		dst = append(dst, hexDigits[b>>4], hexDigits[b&0xf])
@@ -202,6 +203,8 @@ func (s *Span) Context() SpanContext {
 
 // Set appends a typed attribute, dropping it if the span is nil or the
 // fixed attribute array is full. Returns s for chaining.
+//
+//whirl:zeroalloc
 func (s *Span) Set(a Attr) *Span {
 	if s == nil || s.nattrs >= maxAttrs {
 		return s
@@ -250,6 +253,8 @@ func (s *Span) End() {
 
 // EndDuration finishes the span with an explicit duration, for callers
 // that already computed time.Since for their own bookkeeping.
+//
+//whirl:zeroalloc
 func (s *Span) EndDuration(d time.Duration) {
 	if s == nil {
 		return
@@ -318,6 +323,8 @@ func (t *Tracer) Total() uint64 {
 // trace; an invalid one starts a fresh trace with this span as root.
 // The returned span comes from a pool — finish it with End exactly
 // once, and do not retain it afterwards.
+//
+//whirl:zeroalloc
 func (t *Tracer) Start(parent SpanContext, name string) *Span {
 	if t == nil {
 		return nil
@@ -341,6 +348,8 @@ func (t *Tracer) Start(parent SpanContext, name string) *Span {
 
 // record copies the finished span into the ring and returns it to the
 // pool. Called from EndDuration.
+//
+//whirl:zeroalloc
 func (t *Tracer) record(s *Span) {
 	t.total.Add(1)
 	t.mu.Lock()

@@ -371,6 +371,8 @@ func (s *Store) Query(q Query) []Record {
 // exceeded. The returned slices are immutable; they remain valid after
 // the call (a concurrent replacement of a key installs a fresh slice
 // rather than mutating the old one).
+//
+//whirl:zeroalloc
 func (s *Store) AppendRaw(q Query, dst [][]byte) [][]byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -176,6 +176,7 @@ func (a *Awasthi) migrate() {
 		st *pageStat
 	}
 	var hots []hot
+	//whirl:unordered candidates are totally ordered by (count desc, page asc) before migration
 	for pg, st := range a.pageHot {
 		if st.count >= 16 {
 			hots = append(hots, hot{pg, st})
@@ -228,6 +229,7 @@ func (a *Awasthi) migrate() {
 		migrated++
 	}
 	// Decay heat so stale pages do not dominate future epochs.
+	//whirl:unordered per-entry halving and deletion; no entry observes another
 	for pg, st := range a.pageHot {
 		st.count /= 2
 		if st.count == 0 {

@@ -526,6 +526,8 @@ const (
 //
 // Every non-2xx /v1 response goes through here (or httpErrRetry), so
 // clients can rely on the shape.
+//
+//whirl:envelope the designated error-envelope writer; everything else routes errors here
 func httpErr(w http.ResponseWriter, status int, code, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
@@ -979,11 +981,22 @@ var rawRowsPool = sync.Pool{
 	New: func() any { s := make([][]byte, 0, 256); return &s },
 }
 
+// The JSON framing bytes of /v1/results, hoisted so the handler never
+// converts string constants per request (each []byte("...") in the
+// body would be one heap allocation under an escaping w.Write).
+var (
+	resultsOpen  = []byte("[")
+	resultsComma = []byte(",\n")
+	resultsClose = []byte("]\n")
+)
+
 // handleResults queries the persistent store directly; filters are
 // ?app=, ?scheme=, ?key=, ?limit=. Rows are served from the store's
 // retained JSONL bytes (results.Store.AppendRaw) — the warm path does
 // no per-row marshaling or allocation, which is what keeps p99 flat
 // when whirlload overdrives this endpoint.
+//
+//whirl:zeroalloc
 func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	q := results.Query{
 		App:    r.URL.Query().Get("app"),
@@ -1003,14 +1016,14 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	raws := s.cfg.Store.AppendRaw(q, (*ptr)[:0])
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
-	w.Write([]byte("["))
+	w.Write(resultsOpen)
 	for i, raw := range raws {
 		if i > 0 {
-			w.Write([]byte(",\n"))
+			w.Write(resultsComma)
 		}
 		w.Write(raw)
 	}
-	w.Write([]byte("]\n"))
+	w.Write(resultsClose)
 	// Drop the row references before pooling so the pool does not pin
 	// store bytes between requests.
 	for i := range raws {

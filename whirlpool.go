@@ -209,6 +209,7 @@ func SetTraceCacheDir(dir string) {
 	harnessMu.Lock()
 	defer harnessMu.Unlock()
 	traceCacheDir = dir
+	//whirl:unordered same cache dir applied to every harness; order-independent
 	for _, h := range harnesses {
 		h.SetCacheDir(dir)
 	}
@@ -220,6 +221,7 @@ func SetTraceCacheDir(dir string) {
 func TraceCacheStats() (built, fromCache int64) {
 	harnessMu.Lock()
 	defer harnessMu.Unlock()
+	//whirl:unordered commutative sums over every harness
 	for _, h := range harnesses {
 		s := h.CacheStats()
 		built += s.Builds
@@ -233,6 +235,7 @@ func TraceCacheStats() (built, fromCache int64) {
 func invalidateApps(names []string) {
 	harnessMu.Lock()
 	defer harnessMu.Unlock()
+	//whirl:unordered same invalidation applied to every harness; order-independent
 	for _, h := range harnesses {
 		h.Invalidate(names...)
 	}
